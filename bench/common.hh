@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ *
+ * Every binary prints the paper's reported numbers next to the
+ * measured ones. Absolute match is not expected (the substrate is a
+ * from-scratch simulator, see DESIGN.md); the SHAPE -- who wins, by
+ * roughly what factor, where the crossovers fall -- is the
+ * reproduction target. EXPERIMENTS.md records the comparison.
+ */
+
+#ifndef PCSIM_BENCH_COMMON_HH
+#define PCSIM_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/system/presets.hh"
+#include "src/system/system.hh"
+#include "src/workload/suite.hh"
+
+namespace pcsim
+{
+namespace bench
+{
+
+/** Benchmark scale factor (PCSIM_BENCH_SCALE, default 1.0). */
+inline double
+benchScale()
+{
+    if (const char *s = std::getenv("PCSIM_BENCH_SCALE"))
+        return std::atof(s);
+    return 1.0;
+}
+
+/** Run @p workload under @p cfg with the checker off (speed). */
+inline RunResult
+run(MachineConfig cfg, Workload &wl, const std::string &name)
+{
+    cfg.proto.checkerEnabled = false;
+    return runWorkload(cfg, wl, name);
+}
+
+/** Geometric mean of speedups. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    double p = 1.0;
+    for (double x : v)
+        p *= x;
+    return v.empty() ? 0.0 : std::pow(p, 1.0 / v.size());
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &v)
+{
+    double s = 0;
+    for (double x : v)
+        s += x;
+    return v.empty() ? 0.0 : s / v.size();
+}
+
+inline void
+header(const char *what, const char *paper_ref)
+{
+    std::printf("======================================================="
+                "=================\n");
+    std::printf("pcsim reproduction: %s\n", what);
+    std::printf("paper reference:    %s\n", paper_ref);
+    std::printf("machine:            16-node cc-NUMA (Table 1 "
+                "configuration)\n");
+    std::printf("======================================================="
+                "=================\n\n");
+}
+
+/** Normalized triple for the Figure 7 style reports. */
+struct Norm
+{
+    double speedup;
+    double messages;
+    double remote;
+};
+
+inline Norm
+normalize(const RunResult &base, const RunResult &r)
+{
+    Norm n;
+    n.speedup = double(base.cycles) / double(r.cycles);
+    n.messages = double(r.netMessages) / double(base.netMessages);
+    n.remote =
+        double(r.nodes.remoteMisses) / double(base.nodes.remoteMisses);
+    return n;
+}
+
+} // namespace bench
+} // namespace pcsim
+
+#endif // PCSIM_BENCH_COMMON_HH

@@ -1,0 +1,67 @@
+/** @file Headline reproduction (abstract + Section 3.2 summary):
+ *  small config: +13% speedup, -17% traffic, -29% remote misses;
+ *  large config: +21% speedup, -15% traffic, -40% remote misses. */
+
+#include "bench/common.hh"
+
+using namespace pcsim;
+using namespace pcsim::bench;
+
+int
+main()
+{
+    header("Headline summary (abstract / Section 3.2)",
+           "geometric-mean speedup, mean traffic and remote-miss "
+           "reduction across the seven benchmarks");
+
+    const double scale = benchScale();
+    std::vector<double> sp_s, sp_l, msg_s, msg_l, rm_s, rm_l;
+    std::uint64_t upd_sent = 0, upd_used = 0, delegations = 0;
+
+    for (const auto &app : suiteNames()) {
+        auto wl = makeWorkload(app, 16, scale);
+        RunResult b = run(presets::base(16), *wl, "base");
+        RunResult s = run(presets::small(16), *wl, "small");
+        RunResult l = run(presets::large(16), *wl, "large");
+
+        Norm ns = normalize(b, s), nl = normalize(b, l);
+        sp_s.push_back(ns.speedup);
+        sp_l.push_back(nl.speedup);
+        msg_s.push_back(ns.messages);
+        msg_l.push_back(nl.messages);
+        rm_s.push_back(ns.remote);
+        rm_l.push_back(nl.remote);
+        upd_sent += l.nodes.updatesSent;
+        upd_used += l.nodes.updatesConsumed;
+        delegations += l.nodes.delegationsGranted;
+
+        std::printf("  %-8s small: speedup %.3f traffic %+5.1f%% "
+                    "remote %+5.1f%% | large: speedup %.3f traffic "
+                    "%+5.1f%% remote %+5.1f%%\n",
+                    app.c_str(), ns.speedup, 100 * (ns.messages - 1),
+                    100 * (ns.remote - 1), nl.speedup,
+                    100 * (nl.messages - 1), 100 * (nl.remote - 1));
+    }
+
+    std::printf("\n%-40s %10s %10s\n", "", "measured", "paper");
+    std::printf("%-40s %9.1f%% %10s\n",
+                "small: geomean speedup", 100 * (geomean(sp_s) - 1),
+                "+13%");
+    std::printf("%-40s %9.1f%% %10s\n", "small: network traffic",
+                100 * (mean(msg_s) - 1), "-17%");
+    std::printf("%-40s %9.1f%% %10s\n", "small: remote misses",
+                100 * (mean(rm_s) - 1), "-29%");
+    std::printf("%-40s %9.1f%% %10s\n",
+                "large: geomean speedup", 100 * (geomean(sp_l) - 1),
+                "+21%");
+    std::printf("%-40s %9.1f%% %10s\n", "large: network traffic",
+                100 * (mean(msg_l) - 1), "-15%");
+    std::printf("%-40s %9.1f%% %10s\n", "large: remote misses",
+                100 * (mean(rm_l) - 1), "-40%");
+    std::printf("\nlarge config: %llu delegations, %llu updates sent, "
+                "%.0f%% consumed\n",
+                (unsigned long long)delegations,
+                (unsigned long long)upd_sent,
+                upd_sent ? 100.0 * upd_used / upd_sent : 0.0);
+    return 0;
+}

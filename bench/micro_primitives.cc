@@ -1,0 +1,123 @@
+/** @file google-benchmark micro-benchmarks of the simulator's
+ *  primitives: event queue throughput, cache array lookups, the
+ *  detector FSM, network message delivery and a full micro system
+ *  step. These track the simulator's own performance, not the
+ *  paper's results. */
+
+#include <benchmark/benchmark.h>
+
+#include "src/cache/cache_array.hh"
+#include "src/core/pc_detector.hh"
+#include "src/net/network.hh"
+#include "src/sim/event_queue.hh"
+#include "src/system/presets.hh"
+#include "src/system/system.hh"
+#include "src/workload/micro.hh"
+
+using namespace pcsim;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    const int batch = static_cast<int>(state.range(0));
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < batch; ++i)
+            eq.scheduleIn(i % 97, [&sink]() { ++sink; });
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    struct Entry
+    {
+        int v = 0;
+    };
+    CacheArray<Entry> c("bench", 4096, 4, 128, ReplPolicy::LRU,
+                        Rng(1));
+    for (Addr a = 0; a < 4096 * 4 * 128ull; a += 128)
+        c.allocate(a);
+    Rng rng(2);
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        const Addr a = (rng.below(4096 * 4)) * 128;
+        hits += c.find(a) != nullptr;
+    }
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheArrayLookup);
+
+void
+BM_PcDetector(benchmark::State &state)
+{
+    PcDetectorState d;
+    Rng rng(3);
+    std::uint64_t detected = 0;
+    for (auto _ : state) {
+        const NodeId n = static_cast<NodeId>(rng.below(16));
+        if (rng.chance(0.3))
+            detected += d.onWrite(n);
+        else
+            d.onRead(n);
+    }
+    benchmark::DoNotOptimize(detected);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PcDetector);
+
+struct NullSink : MessageHandler
+{
+    std::uint64_t count = 0;
+    void handleMessage(const Message &) override { ++count; }
+};
+
+void
+BM_NetworkDelivery(benchmark::State &state)
+{
+    EventQueue eq;
+    Network net(eq, 16);
+    NullSink sinks[16];
+    for (NodeId n = 0; n < 16; ++n)
+        net.registerHandler(n, &sinks[n]);
+    Rng rng(4);
+    for (auto _ : state) {
+        Message m;
+        m.type = MsgType::ReqShared;
+        m.addr = 0x1000;
+        m.src = static_cast<NodeId>(rng.below(16));
+        m.dst = static_cast<NodeId>(rng.below(16));
+        net.send(m);
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkDelivery);
+
+void
+BM_FullSystemMicroRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ProducerConsumerMicro::Params p;
+        p.iterations = 5;
+        ProducerConsumerMicro wl(16, p);
+        MachineConfig cfg = presets::small(16);
+        cfg.proto.checkerEnabled = false;
+        RunResult r = runWorkload(cfg, wl, "bench");
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_FullSystemMicroRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Writing a custom workload against the public API.
+ *
+ * Models a 16-node work-queue pipeline: a coordinator node publishes
+ * task descriptors each round (one producer, many consumers reading
+ * their slice), workers compute and publish per-worker results that
+ * the coordinator aggregates (many producers, one consumer). Both
+ * directions are producer-consumer patterns the adaptive protocol
+ * should accelerate -- the example sweeps the Figure 7 configurations
+ * and reports what each mechanism buys.
+ */
+
+#include <cstdio>
+
+#include "src/system/presets.hh"
+#include "src/system/system.hh"
+#include "src/workload/workload.hh"
+
+using namespace pcsim;
+
+namespace
+{
+
+/** The custom workload: subclass TraceWorkload, emit MemOps. */
+class WorkQueuePipeline : public TraceWorkload
+{
+  public:
+    WorkQueuePipeline(unsigned num_cpus, unsigned rounds,
+                      unsigned tasks_per_worker)
+        : TraceWorkload("WorkQueue", num_cpus)
+    {
+        const Addr desc_base = 0x70000000ull;   // task descriptors
+        const Addr result_base = 0x74000000ull; // per-worker results
+        const std::uint32_t line = 128;
+
+        auto desc_line = [&](unsigned w) {
+            return desc_base + static_cast<Addr>(w) * line;
+        };
+        auto result_line = [&](unsigned w, unsigned t) {
+            // Page-aligned per-worker block: first touch homes it at
+            // the worker.
+            return result_base + w * 0x4000ull + t * line;
+        };
+
+        // Init: coordinator (CPU 0) first-touches the descriptors;
+        // each worker its result block. Ends with the stats barrier.
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto &t = cpuTrace(cpu);
+            if (cpu == 0) {
+                for (unsigned w = 1; w < num_cpus; ++w)
+                    t.push_back(MemOp::write(desc_line(w)));
+            } else {
+                for (unsigned k = 0; k < tasks_per_worker; ++k)
+                    t.push_back(
+                        MemOp::write(result_line(cpu, k)));
+            }
+            t.push_back(MemOp::barrier());
+        }
+
+        for (unsigned r = 0; r < rounds; ++r) {
+            for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+                auto &t = cpuTrace(cpu);
+                if (cpu == 0) {
+                    // Publish this round's task descriptors.
+                    for (unsigned w = 1; w < num_cpus; ++w) {
+                        t.push_back(MemOp::think(40));
+                        t.push_back(MemOp::write(desc_line(w)));
+                    }
+                }
+                t.push_back(MemOp::barrier());
+                if (cpu != 0) {
+                    // Fetch my descriptor, compute, publish results.
+                    t.push_back(MemOp::read(desc_line(cpu)));
+                    for (unsigned k = 0; k < tasks_per_worker; ++k) {
+                        t.push_back(MemOp::think(300));
+                        t.push_back(
+                            MemOp::write(result_line(cpu, k)));
+                    }
+                }
+                t.push_back(MemOp::barrier());
+                if (cpu == 0) {
+                    // Aggregate every worker's results.
+                    for (unsigned w = 1; w < num_cpus; ++w) {
+                        for (unsigned k = 0; k < tasks_per_worker;
+                             ++k) {
+                            t.push_back(
+                                MemOp::read(result_line(w, k)));
+                            t.push_back(MemOp::think(20));
+                        }
+                    }
+                }
+                t.push_back(MemOp::barrier());
+            }
+        }
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    const unsigned cpus = 16;
+    WorkQueuePipeline wl(cpus, /*rounds=*/30, /*tasks_per_worker=*/4);
+
+    std::printf("custom workload: 1 coordinator, %u workers, "
+                "bidirectional producer-consumer flow\n\n",
+                cpus - 1);
+    std::printf("%-28s %-10s %-9s %-9s %-9s %s\n", "config", "cycles",
+                "speedup", "remote", "local", "updates used/sent");
+
+    RunResult base;
+    for (auto &[name, cfg] : presets::figure7Configs(cpus)) {
+        RunResult r = runWorkload(cfg, wl, name);
+        if (name == "Base")
+            base = r;
+        std::printf("%-28s %-10llu %-9.3f %-9llu %-9llu %llu/%llu\n",
+                    name.c_str(), (unsigned long long)r.cycles,
+                    double(base.cycles) / r.cycles,
+                    (unsigned long long)r.nodes.remoteMisses,
+                    (unsigned long long)r.nodes.localMisses,
+                    (unsigned long long)r.nodes.updatesConsumed,
+                    (unsigned long long)r.nodes.updatesSent);
+    }
+
+    std::printf("\nBoth flows are adaptive-protocol friendly: the "
+                "descriptor lines delegate to the\ncoordinator and "
+                "push to each worker; each worker's result block "
+                "delegates to the\nworker and pushes to the "
+                "coordinator.\n");
+    return 0;
+}

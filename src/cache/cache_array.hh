@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Generic set-associative cache array.
+ *
+ * Stores user-defined per-line payloads and manages tags, validity and
+ * replacement (LRU or random). The number of sets need not be a power
+ * of two, which lets us model the "equal silicon area" 1.04 MB L2 of
+ * Figure 8 exactly.
+ */
+
+#ifndef PCSIM_CACHE_CACHE_ARRAY_HH
+#define PCSIM_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/logging.hh"
+#include "src/sim/random.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/** Replacement policy selector. */
+enum class ReplPolicy
+{
+    LRU,
+    Random,
+};
+
+/**
+ * Set-associative array of EntryT payloads indexed by line address.
+ *
+ * EntryT is any default-constructible struct; the array adds tag,
+ * valid bit and recency. Addresses passed in are byte addresses and
+ * are aligned internally to the line size.
+ */
+template <typename EntryT>
+class CacheArray
+{
+  public:
+    /** A slot: management bits plus the user payload. */
+    struct Slot
+    {
+        bool valid = false;
+        Addr addr = invalidAddr; ///< line-aligned address
+        std::uint64_t lastUse = 0;
+        EntryT data{};
+    };
+
+    CacheArray(std::string name, std::size_t num_sets, std::size_t ways,
+               std::uint32_t line_bytes, ReplPolicy policy, Rng rng)
+        : _name(std::move(name)),
+          _numSets(num_sets),
+          _ways(ways),
+          _lineBytes(line_bytes),
+          _policy(policy),
+          _rng(rng),
+          _slots(num_sets * ways)
+    {
+        if (num_sets == 0 || ways == 0 || line_bytes == 0)
+            fatal("%s: bad cache geometry", _name.c_str());
+    }
+
+    std::uint32_t lineBytes() const { return _lineBytes; }
+    std::size_t numSets() const { return _numSets; }
+    std::size_t ways() const { return _ways; }
+    std::size_t capacityBytes() const
+    {
+        return _numSets * _ways * _lineBytes;
+    }
+
+    /** Align a byte address down to its line. */
+    Addr lineAlign(Addr a) const { return a - (a % _lineBytes); }
+
+    /**
+     * Look up @p a. Returns the payload or nullptr.
+     * @param touch update recency on hit.
+     */
+    EntryT *
+    find(Addr a, bool touch = true)
+    {
+        Slot *slot = findSlot(a);
+        if (!slot)
+            return nullptr;
+        if (touch)
+            slot->lastUse = ++_useClock;
+        return &slot->data;
+    }
+
+    const EntryT *
+    find(Addr a) const
+    {
+        return const_cast<CacheArray *>(this)->find(a, false);
+    }
+
+    /**
+     * Allocate a slot for @p a, evicting if necessary.
+     *
+     * @param a            byte address (aligned internally).
+     * @param can_evict    predicate deciding whether a valid slot may
+     *                     be displaced (e.g. skip pinned RAC entries);
+     *                     pass nullptr to allow any.
+     * @param on_evict     called with (addr, payload) of the victim
+     *                     before reuse.
+     * @return payload pointer, or nullptr if the set is full and no
+     *         slot is evictable.
+     *
+     * If @p a is already present its existing slot is returned.
+     */
+    EntryT *
+    allocate(Addr a,
+             const std::function<bool(Addr, const EntryT &)> &can_evict
+                 = nullptr,
+             const std::function<void(Addr, EntryT &)> &on_evict
+                 = nullptr)
+    {
+        const Addr line = lineAlign(a);
+        if (Slot *hit = findSlot(line)) {
+            hit->lastUse = ++_useClock;
+            return &hit->data;
+        }
+
+        Slot *set = setBase(line);
+        Slot *victim = nullptr;
+        // Prefer an invalid slot.
+        for (std::size_t w = 0; w < _ways; ++w) {
+            if (!set[w].valid) {
+                victim = &set[w];
+                break;
+            }
+        }
+        if (!victim) {
+            victim = pickVictim(set, can_evict);
+            if (!victim)
+                return nullptr;
+            if (on_evict)
+                on_evict(victim->addr, victim->data);
+        }
+        victim->valid = true;
+        victim->addr = line;
+        victim->lastUse = ++_useClock;
+        victim->data = EntryT{};
+        return &victim->data;
+    }
+
+    /** Drop @p a if present. Returns true if it was present. */
+    bool
+    invalidate(Addr a)
+    {
+        Slot *slot = findSlot(a);
+        if (!slot)
+            return false;
+        slot->valid = false;
+        slot->addr = invalidAddr;
+        slot->data = EntryT{};
+        return true;
+    }
+
+    /** Visit every valid line: fn(addr, payload). */
+    void
+    forEach(const std::function<void(Addr, EntryT &)> &fn)
+    {
+        for (auto &slot : _slots) {
+            if (slot.valid)
+                fn(slot.addr, slot.data);
+        }
+    }
+
+    void
+    forEach(const std::function<void(Addr, const EntryT &)> &fn) const
+    {
+        for (const auto &slot : _slots) {
+            if (slot.valid)
+                fn(slot.addr, slot.data);
+        }
+    }
+
+    /** Number of valid lines. */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const auto &slot : _slots)
+            n += slot.valid ? 1 : 0;
+        return n;
+    }
+
+    /** Drop everything. */
+    void
+    clear()
+    {
+        for (auto &slot : _slots) {
+            slot.valid = false;
+            slot.addr = invalidAddr;
+            slot.data = EntryT{};
+        }
+    }
+
+  private:
+    std::size_t
+    setIndex(Addr line) const
+    {
+        return static_cast<std::size_t>((line / _lineBytes) % _numSets);
+    }
+
+    Slot *setBase(Addr line) { return &_slots[setIndex(line) * _ways]; }
+
+    Slot *
+    findSlot(Addr a)
+    {
+        const Addr line = lineAlign(a);
+        Slot *set = setBase(line);
+        for (std::size_t w = 0; w < _ways; ++w) {
+            if (set[w].valid && set[w].addr == line)
+                return &set[w];
+        }
+        return nullptr;
+    }
+
+    Slot *
+    pickVictim(Slot *set,
+               const std::function<bool(Addr, const EntryT &)> &can_evict)
+    {
+        if (_policy == ReplPolicy::Random) {
+            // Random: up to `ways` probes starting at a random way.
+            const std::size_t start = _rng.below(_ways);
+            for (std::size_t i = 0; i < _ways; ++i) {
+                Slot *s = &set[(start + i) % _ways];
+                if (!can_evict || can_evict(s->addr, s->data))
+                    return s;
+            }
+            return nullptr;
+        }
+        // LRU.
+        Slot *best = nullptr;
+        for (std::size_t w = 0; w < _ways; ++w) {
+            Slot *s = &set[w];
+            if (can_evict && !can_evict(s->addr, s->data))
+                continue;
+            if (!best || s->lastUse < best->lastUse)
+                best = s;
+        }
+        return best;
+    }
+
+    std::string _name;
+    std::size_t _numSets;
+    std::size_t _ways;
+    std::uint32_t _lineBytes;
+    ReplPolicy _policy;
+    Rng _rng;
+    std::vector<Slot> _slots;
+    std::uint64_t _useClock = 0;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Coherence states for processor-side cached lines (MESI).
+ */
+
+#ifndef PCSIM_CACHE_LINE_STATE_HH
+#define PCSIM_CACHE_LINE_STATE_HH
+
+#include <cstdint>
+
+namespace pcsim
+{
+
+/** MESI state of a line in a node's L2 (the coherence agent). */
+enum class LineState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive, ///< clean exclusive (never written since fill)
+    Modified,
+};
+
+inline const char *
+lineStateName(LineState s)
+{
+    switch (s) {
+      case LineState::Invalid: return "I";
+      case LineState::Shared: return "S";
+      case LineState::Exclusive: return "E";
+      case LineState::Modified: return "M";
+    }
+    return "?";
+}
+
+/** True if the state confers read permission. */
+inline bool
+canRead(LineState s)
+{
+    return s != LineState::Invalid;
+}
+
+/** True if the state confers write permission. */
+inline bool
+canWrite(LineState s)
+{
+    return s == LineState::Exclusive || s == LineState::Modified;
+}
+
+} // namespace pcsim
+
+#endif // PCSIM_CACHE_LINE_STATE_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Miss Status Holding Registers for the node's coherence agent.
+ *
+ * One MSHR tracks one outstanding line transaction: the request type,
+ * where it was sent, how many invalidation acks remain (Origin-style
+ * ack collection at the requester), and NACK retry state.
+ */
+
+#ifndef PCSIM_CACHE_MSHR_HH
+#define PCSIM_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/net/message.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/** Outstanding transaction state for one line. */
+struct Mshr
+{
+    Addr addr = invalidAddr;    ///< line address
+    Addr reqAddr = invalidAddr; ///< original byte address (L1 fill)
+    bool isWrite = false;
+    /** The request currently outstanding (ReqShared/ReqExcl/ReqUpgrade). */
+    MsgType reqType = MsgType::ReqShared;
+    /** Node the request was last sent to (home or delegated home). */
+    NodeId sentTo = invalidNode;
+
+    /** Data reply received (version captured below). */
+    bool haveData = false;
+    Version version = 0;
+    /** Reply granted exclusive permission. */
+    bool exclusiveGrant = false;
+
+    /** Acks to collect: -1 until the reply announces the count. */
+    int acksExpected = -1;
+    int acksReceived = 0;
+
+    /** Our SHARED copy was invalidated while this upgrade was
+     *  outstanding; a dataless upgrade ack can no longer satisfy it. */
+    bool lostCopy = false;
+
+    /** An invalidation overtook the read reply in flight: complete
+     *  the load with the (legally stale) data but do not cache it. */
+    bool fillInvalidated = false;
+
+    /** Retry bookkeeping for NACKs. */
+    std::uint32_t retries = 0;
+
+    /** Current transaction id (re-stamped on every (re)send). */
+    std::uint64_t txnId = 0;
+
+    /** Issue time of the original access, for latency stats. */
+    Tick issued = 0;
+    /** Any network message was needed to resolve this miss. */
+    bool usedNetwork = false;
+    /** Resolved entirely from the local RAC. */
+    bool racHit = false;
+    /** Data was supplied by a third party (3-hop transaction). */
+    bool thirdParty = false;
+    /** Completion callback back into the CPU (receives the final
+     *  line version -- the data abstraction). */
+    std::function<void(Version)> onComplete;
+
+    /** All ingredients present to finish the transaction? */
+    bool
+    ready() const
+    {
+        if (acksExpected >= 0 && acksReceived < acksExpected)
+            return false;
+        if (isWrite) {
+            // A write needs an exclusive grant; upgrades that lost
+            // their copy also need fresh data.
+            if (acksExpected < 0)
+                return false;
+            if (lostCopy && !haveData)
+                return false;
+            return true;
+        }
+        return haveData;
+    }
+};
+
+/** Table of MSHRs indexed by line address. */
+class MshrTable
+{
+  public:
+    explicit MshrTable(std::size_t capacity) : _capacity(capacity) {}
+
+    bool full() const { return _table.size() >= _capacity; }
+    std::size_t size() const { return _table.size(); }
+
+    Mshr *
+    find(Addr line)
+    {
+        auto it = _table.find(line);
+        return it == _table.end() ? nullptr : &it->second;
+    }
+
+    /** Allocate an MSHR; returns nullptr if full or already present. */
+    Mshr *
+    allocate(Addr line)
+    {
+        if (full() || _table.count(line))
+            return nullptr;
+        Mshr &m = _table[line];
+        m.addr = line;
+        return &m;
+    }
+
+    void free(Addr line) { _table.erase(line); }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &[line, mshr] : _table)
+            fn(mshr);
+    }
+
+  private:
+    std::size_t _capacity;
+    std::unordered_map<Addr, Mshr> _table;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_CACHE_MSHR_HH

@@ -1,0 +1,117 @@
+#include "src/cpu/barrier.hh"
+
+#include "src/protocol/hub.hh"
+#include "src/sim/logging.hh"
+
+namespace pcsim
+{
+
+BarrierDriver::BarrierDriver(EventQueue &eq, std::vector<Hub *> hubs,
+                             Addr base, std::uint32_t line_bytes,
+                             Tick spin_delay)
+    : _eq(eq),
+      _hubs(std::move(hubs)),
+      _base(base),
+      _lineBytes(line_bytes),
+      _spinDelay(spin_delay),
+      _genOfCpu(_hubs.size(), 0)
+{
+    if (_hubs.empty())
+        fatal("barrier driver needs at least one CPU");
+}
+
+Addr
+BarrierDriver::regionBytes() const
+{
+    return (_hubs.size() + 1) * static_cast<Addr>(_lineBytes);
+}
+
+void
+BarrierDriver::arrive(unsigned cpu, std::function<void()> done)
+{
+    const std::uint64_t gen = ++_genOfCpu.at(cpu);
+
+    if (_hubs.size() == 1) {
+        // Degenerate single-CPU system.
+        cpuPassed(cpu, gen, std::move(done));
+        return;
+    }
+
+    if (cpu == 0) {
+        // Master: first post its own arrival implicitly by starting to
+        // collect the slaves' arrival flags.
+        masterCollect(1, gen, std::move(done));
+    } else {
+        // Slave: publish arrival (one write), then spin on release.
+        _hubs[cpu]->cpuAccess(
+            /*is_write=*/true, arrivalLine(cpu),
+            [this, cpu, gen, done = std::move(done)](Version) mutable {
+                slaveSpin(cpu, gen, std::move(done));
+            });
+    }
+}
+
+void
+BarrierDriver::masterCollect(unsigned next_slave, std::uint64_t gen,
+                             std::function<void()> done)
+{
+    if (next_slave >= _hubs.size()) {
+        // Everyone arrived: publish the release (one write), then the
+        // master itself may pass.
+        _hubs[0]->cpuAccess(
+            /*is_write=*/true, releaseLine(),
+            [this, gen, done = std::move(done)](Version) mutable {
+                cpuPassed(0, gen, std::move(done));
+            });
+        return;
+    }
+
+    _hubs[0]->cpuAccess(
+        /*is_write=*/false, arrivalLine(next_slave),
+        [this, next_slave, gen,
+         done = std::move(done)](Version v) mutable {
+            if (v >= gen) {
+                masterCollect(next_slave + 1, gen, std::move(done));
+            } else {
+                _eq.scheduleIn(_spinDelay, [this, next_slave, gen,
+                                            done = std::move(done)]() mutable {
+                    masterCollect(next_slave, gen, std::move(done));
+                });
+            }
+        });
+}
+
+void
+BarrierDriver::slaveSpin(unsigned cpu, std::uint64_t gen,
+                         std::function<void()> done)
+{
+    _hubs[cpu]->cpuAccess(
+        /*is_write=*/false, releaseLine(),
+        [this, cpu, gen, done = std::move(done)](Version v) mutable {
+            if (v >= gen) {
+                cpuPassed(cpu, gen, std::move(done));
+            } else {
+                _eq.scheduleIn(_spinDelay, [this, cpu, gen,
+                                            done = std::move(done)]() mutable {
+                    slaveSpin(cpu, gen, std::move(done));
+                });
+            }
+        });
+}
+
+void
+BarrierDriver::cpuPassed(unsigned cpu, std::uint64_t gen,
+                         std::function<void()> done)
+{
+    (void)cpu;
+    (void)gen;
+    if (++_passedCount == _hubs.size()) {
+        _passedCount = 0;
+        ++_gensDone;
+        if (_onGeneration)
+            _onGeneration(_gensDone);
+    }
+    done();
+}
+
+} // namespace pcsim

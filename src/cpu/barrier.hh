@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Master/slave flag barrier executed as real coherence traffic.
+ *
+ * Layout (one line per flag; first-touch places each at its writer):
+ *  - arrival line of CPU s: written by s once per barrier; read
+ *    (spun on) by the master -> single-producer / single-consumer,
+ *  - release line: written by the master once per barrier; spun on by
+ *    all slaves -> single-producer / many-consumer.
+ *
+ * This is the OpenMP-style barrier structure that produces the
+ * "reload flurry" of Section 3.2: the release write invalidates all
+ * spinners, they re-read simultaneously, and the home NACKs requests
+ * while the line is BUSY. With delegation + speculative updates the
+ * release data is instead pushed into the spinners' RACs.
+ *
+ * Data values are line Versions: CPU s's arrival for generation g is
+ * observed once its arrival line's version reaches g (each barrier
+ * performs exactly one write per flag line).
+ */
+
+#ifndef PCSIM_CPU_BARRIER_HH
+#define PCSIM_CPU_BARRIER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+class Hub;
+
+/** Coordinates barrier episodes across all CPUs. */
+class BarrierDriver
+{
+  public:
+    /**
+     * @param hubs       one hub per CPU (CPU i issues through hubs[i]).
+     * @param base       address of the barrier flag region.
+     * @param line_bytes coherence line size (flag spacing).
+     * @param spin_delay cycles between spin polls.
+     */
+    BarrierDriver(EventQueue &eq, std::vector<Hub *> hubs, Addr base,
+                  std::uint32_t line_bytes, Tick spin_delay = 30);
+
+    /** CPU @p cpu reached a barrier; @p done fires when it may pass. */
+    void arrive(unsigned cpu, std::function<void()> done);
+
+    /** Invoked each time every CPU has passed generation @p gen. */
+    void
+    setOnGeneration(std::function<void(std::uint64_t gen)> fn)
+    {
+        _onGeneration = std::move(fn);
+    }
+
+    std::uint64_t generationsCompleted() const { return _gensDone; }
+
+    /** Bytes of address space the flag region occupies. */
+    Addr regionBytes() const;
+
+  private:
+    Addr arrivalLine(unsigned cpu) const
+    {
+        return _base + (1 + static_cast<Addr>(cpu)) * _lineBytes;
+    }
+    Addr releaseLine() const { return _base; }
+
+    void masterCollect(unsigned next_slave, std::uint64_t gen,
+                       std::function<void()> done);
+    void slaveSpin(unsigned cpu, std::uint64_t gen,
+                   std::function<void()> done);
+    void cpuPassed(unsigned cpu, std::uint64_t gen,
+                   std::function<void()> done);
+
+    EventQueue &_eq;
+    std::vector<Hub *> _hubs;
+    Addr _base;
+    std::uint32_t _lineBytes;
+    Tick _spinDelay;
+
+    std::vector<std::uint64_t> _genOfCpu;
+    std::uint64_t _gensDone = 0;
+    unsigned _passedCount = 0;
+    std::function<void(std::uint64_t)> _onGeneration;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_CPU_BARRIER_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Simple in-order processor model.
+ *
+ * Executes its workload stream one operation at a time: think time
+ * models the non-memory instructions between references; loads and
+ * stores block until the coherence protocol completes them (the
+ * mechanisms under study attack exposed remote-miss latency, so an
+ * in-order core preserves the relative effects; see DESIGN.md).
+ */
+
+#ifndef PCSIM_CPU_CPU_HH
+#define PCSIM_CPU_CPU_HH
+
+#include <functional>
+
+#include "src/cpu/barrier.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/types.hh"
+#include "src/workload/workload.hh"
+
+namespace pcsim
+{
+
+class Hub;
+
+/** One processor. */
+class Cpu : public SimObject
+{
+  public:
+    Cpu(EventQueue &eq, Hub &hub, Workload &workload,
+        BarrierDriver &barrier, unsigned cpu_id);
+
+    /** Begin executing the workload stream. */
+    void start();
+
+    bool done() const { return _done; }
+    Tick finishedAt() const { return _finishedAt; }
+    std::uint64_t opsExecuted() const { return _ops; }
+
+    /** Invoked once when the stream ends. */
+    void setOnDone(std::function<void()> fn) { _onDone = std::move(fn); }
+
+  private:
+    void nextOp();
+
+    Hub &_hub;
+    Workload &_workload;
+    BarrierDriver &_barrier;
+    unsigned _cpuId;
+    bool _done = false;
+    Tick _finishedAt = 0;
+    std::uint64_t _ops = 0;
+    std::function<void()> _onDone;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_CPU_CPU_HH

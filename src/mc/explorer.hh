@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Generic explicit-state model checking engine (Section 2.5).
+ *
+ * The paper verified its mechanisms with Murphi: "we built a formal
+ * model of our protocols and performed an exhaustive reachability
+ * analysis of the model for a small configuration size". This engine
+ * provides the same method: breadth-first exploration of a model's
+ * state space with invariant checking at every state and deadlock
+ * detection (a non-quiescent state with no enabled transition).
+ *
+ * A Model must provide:
+ *   using State = ...;                    // copyable, hashable
+ *   State initial() const;
+ *   void transitions(const State &,       // enumerate successors
+ *                    std::vector<State> &out) const;
+ *   void checkInvariants(const State &) const; // throw McError
+ *   bool isQuiescent(const State &) const;     // done states may
+ *                                              // have no successors
+ *   std::string describe(const State &) const;
+ *   std::uint64_t hash(const State &) const;
+ *   bool equal(const State &, const State &) const;
+ */
+
+#ifndef PCSIM_MC_EXPLORER_HH
+#define PCSIM_MC_EXPLORER_HH
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pcsim
+{
+
+/** Raised by a model when an invariant fails. */
+class McError : public std::runtime_error
+{
+  public:
+    explicit McError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Result of an exploration. */
+struct McResult
+{
+    std::uint64_t statesExplored = 0;
+    std::uint64_t transitionsTaken = 0;
+    bool completed = false; ///< false if the state limit was hit
+};
+
+/** Breadth-first explicit-state explorer. */
+template <typename Model>
+class Explorer
+{
+  public:
+    explicit Explorer(const Model &model, std::uint64_t max_states =
+                                              5'000'000)
+        : _model(model), _maxStates(max_states)
+    {
+    }
+
+    /**
+     * Explore the reachable state space.
+     * @throws McError on an invariant violation or deadlock.
+     */
+    McResult
+    run()
+    {
+        using State = typename Model::State;
+
+        McResult res;
+        std::unordered_map<std::uint64_t, std::vector<State>> visited;
+        std::deque<State> frontier;
+
+        auto seen = [&](const State &s) {
+            auto &bucket = visited[_model.hash(s)];
+            for (const State &t : bucket) {
+                if (_model.equal(s, t))
+                    return true;
+            }
+            bucket.push_back(s);
+            return false;
+        };
+
+        auto check = [this](const State &st) {
+            try {
+                _model.checkInvariants(st);
+            } catch (const McError &e) {
+                throw McError(std::string(e.what()) + "\nin state:\n" +
+                              _model.describe(st));
+            }
+        };
+
+        State init = _model.initial();
+        check(init);
+        seen(init);
+        frontier.push_back(std::move(init));
+        res.statesExplored = 1;
+
+        std::vector<State> succ;
+        while (!frontier.empty()) {
+            if (res.statesExplored > _maxStates)
+                return res; // bounded run: completed stays false
+
+            State s = std::move(frontier.front());
+            frontier.pop_front();
+
+            succ.clear();
+            try {
+                _model.transitions(s, succ);
+            } catch (const McError &e) {
+                throw McError(std::string(e.what()) +
+                              "\nwhile expanding state:\n" +
+                              _model.describe(s));
+            }
+            if (succ.empty() && !_model.isQuiescent(s)) {
+                throw McError("deadlock: no enabled transition in "
+                              "non-quiescent state\n" +
+                              _model.describe(s));
+            }
+            for (State &n : succ) {
+                ++res.transitionsTaken;
+                check(n);
+                if (!seen(n)) {
+                    ++res.statesExplored;
+                    frontier.push_back(std::move(n));
+                }
+            }
+        }
+        res.completed = true;
+        return res;
+    }
+
+  private:
+    const Model &_model;
+    std::uint64_t _maxStates;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_MC_EXPLORER_HH

@@ -1,0 +1,1084 @@
+#include "src/mc/protocol_model.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace pcsim
+{
+namespace mc
+{
+
+namespace
+{
+
+constexpr std::uint8_t none = 0xf;
+
+std::uint8_t
+popcount(std::uint8_t m)
+{
+    return static_cast<std::uint8_t>(__builtin_popcount(m));
+}
+
+} // namespace
+
+bool
+ProtocolModel::State::operator==(const State &o) const
+{
+    if (cache != o.cache || cacheV != o.cacheV || mshr != o.mshr ||
+        mshrHaveData != o.mshrHaveData || mshrV != o.mshrV ||
+        mshrAcksNeed != o.mshrAcksNeed ||
+        mshrAcksGot != o.mshrAcksGot || readsLeft != o.readsLeft ||
+        lastSeen != o.lastSeen)
+        return false;
+    if (dir != o.dir || sharers != o.sharers || owner != o.owner ||
+        pendReq != o.pendReq || pendOwner != o.pendOwner ||
+        pendIsWrite != o.pendIsWrite || pendSeq != o.pendSeq ||
+        memV != o.memV)
+        return false;
+    if (prodValid != o.prodValid || prodNode != o.prodNode ||
+        prodIsExcl != o.prodIsExcl || prodSharers != o.prodSharers ||
+        prodV != o.prodV || intervPending != o.intervPending)
+        return false;
+    if (racMask != o.racMask || racV != o.racV ||
+        writesLeft != o.writesLeft || curV != o.curV ||
+        tombV != o.tombV || fillInval != o.fillInval ||
+        mshrSeq != o.mshrSeq)
+        return false;
+    if (chanLen != o.chanLen)
+        return false;
+    for (unsigned s = 0; s < maxNodes; ++s) {
+        for (unsigned d = 0; d < maxNodes; ++d) {
+            for (unsigned i = 0; i < chanLen[s][d]; ++i) {
+                if (!(chan[s][d][i] == o.chan[s][d][i]))
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+ProtocolModel::hash(const State &s) const
+{
+    // FNV-1a over the canonical fields.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    for (unsigned n = 0; n < _cfg.nodes; ++n) {
+        mix(static_cast<std::uint64_t>(s.cache[n]) | (s.cacheV[n] << 4) |
+            (static_cast<std::uint64_t>(s.mshr[n]) << 12) |
+            (static_cast<std::uint64_t>(s.mshrV[n]) << 16) |
+            (static_cast<std::uint64_t>(s.readsLeft[n]) << 24) |
+            (static_cast<std::uint64_t>(s.lastSeen[n]) << 32) |
+            (static_cast<std::uint64_t>(s.mshrAcksGot[n]) << 40) |
+            (static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(s.mshrAcksNeed[n]))
+             << 48) |
+            (static_cast<std::uint64_t>(s.tombV[n]) << 56));
+        mix(s.racV[n] | (std::uint64_t(s.fillInval[n]) << 8) |
+            (std::uint64_t(s.mshrHaveData[n]) << 9) |
+            (std::uint64_t(s.mshrSeq[n]) << 12));
+    }
+    mix(static_cast<std::uint64_t>(s.dir) | (s.sharers << 4) |
+        (std::uint64_t(s.owner) << 12) |
+        (std::uint64_t(s.pendReq) << 16) |
+        (std::uint64_t(s.pendOwner) << 20) |
+        (std::uint64_t(s.pendIsWrite) << 24) |
+        (std::uint64_t(s.pendSeq) << 28) |
+        (std::uint64_t(s.memV) << 32));
+    mix(s.prodValid | (std::uint64_t(s.prodNode) << 4) |
+        (std::uint64_t(s.prodIsExcl) << 8) |
+        (std::uint64_t(s.prodSharers) << 12) |
+        (std::uint64_t(s.prodV) << 20) |
+        (std::uint64_t(s.intervPending) << 28) |
+        (std::uint64_t(s.racMask) << 32) |
+        (std::uint64_t(s.writesLeft) << 40) |
+        (std::uint64_t(s.curV) << 48));
+    for (unsigned a = 0; a < _cfg.nodes; ++a) {
+        for (unsigned b = 0; b < _cfg.nodes; ++b) {
+            mix(s.chanLen[a][b]);
+            for (unsigned i = 0; i < s.chanLen[a][b]; ++i) {
+                const MMsg &m = s.chan[a][b][i];
+                mix(static_cast<std::uint64_t>(m.type) |
+                    (std::uint64_t(m.requester) << 8) |
+                    (std::uint64_t(m.version) << 16) |
+                    (std::uint64_t(m.acks) << 24) |
+                    (std::uint64_t(m.sharers) << 32) |
+                    (std::uint64_t(m.owner) << 40) |
+                    (std::uint64_t(m.seq) << 48));
+            }
+        }
+    }
+    return h;
+}
+
+ProtocolModel::State
+ProtocolModel::initial() const
+{
+    State s{};
+    s.cache.fill(CState::I);
+    s.owner = none;
+    s.pendReq = none;
+    s.pendOwner = none;
+    s.prodNode = none;
+    s.writesLeft = static_cast<std::uint8_t>(_cfg.maxWrites);
+    for (unsigned n = 0; n < _cfg.nodes; ++n)
+        s.readsLeft[n] = static_cast<std::uint8_t>(_cfg.maxReads);
+    return s;
+}
+
+bool
+ProtocolModel::send(State &s, unsigned src, unsigned dst,
+                    const MMsg &m) const
+{
+    auto &len = s.chanLen[src][dst];
+    if (len >= chanDepth)
+        return false; // channel full: transition disabled
+    s.chan[src][dst][len++] = m;
+    return true;
+}
+
+bool
+ProtocolModel::isQuiescent(const State &s) const
+{
+    // Quiescent = all work budgets consumed, no MSHRs, no messages,
+    // no pending intervention.
+    for (unsigned n = 0; n < _cfg.nodes; ++n) {
+        if (s.mshr[n] || s.readsLeft[n])
+            return false;
+        for (unsigned d = 0; d < _cfg.nodes; ++d) {
+            if (s.chanLen[n][d])
+                return false;
+        }
+    }
+    return s.writesLeft == 0 && !s.intervPending;
+}
+
+void
+ProtocolModel::completeWrite(State &s, unsigned n) const
+{
+    if (s.mshrV[n] != s.curV) {
+        throw McError("lost update: node writes from stale version " +
+                      std::to_string(s.mshrV[n]) + " cur " +
+                      std::to_string(s.curV));
+    }
+    for (unsigned m = 0; m < _cfg.nodes; ++m) {
+        if (m != n && s.cache[m] != CState::I)
+            throw McError("single-writer violated by cache copy");
+        if (m != n && (s.racMask & (1u << m)))
+            throw McError("single-writer violated by RAC copy");
+    }
+    // Our own RAC copy (a superseded push) is now stale: drop it,
+    // exactly as the implementation's performStore() does.
+    s.racMask &= ~(1u << n);
+    ++s.curV;
+    s.cache[n] = CState::M;
+    s.cacheV[n] = s.curV;
+    s.lastSeen[n] = s.curV;
+    s.mshr[n] = 0;
+    s.mshrHaveData[n] = 0;
+    s.mshrAcksNeed[n] = -1;
+    s.mshrAcksGot[n] = 0;
+    s.fillInval[n] = 0;
+
+    // Delegated producer: arm the delayed intervention (its firing is
+    // a separate, nondeterministically-timed transition).
+    if (s.prodValid && s.prodNode == n && _cfg.updates)
+        s.intervPending = 1;
+}
+
+void
+ProtocolModel::maybeComplete(State &s, unsigned n) const
+{
+    if (s.mshr[n] == 1) {
+        if (!s.mshrHaveData[n])
+            return;
+        // Read completion.
+        if (s.mshrV[n] < s.lastSeen[n])
+            throw McError("non-monotonic read");
+        if (s.mshrV[n] > s.curV)
+            throw McError("read from the future");
+        s.lastSeen[n] = s.mshrV[n];
+        if (!s.fillInval[n]) {
+            s.cache[n] = CState::S;
+            s.cacheV[n] = s.mshrV[n];
+        }
+        s.mshr[n] = 0;
+        s.mshrHaveData[n] = 0;
+        s.fillInval[n] = 0;
+        return;
+    }
+    if (s.mshr[n] == 2) {
+        if (!s.mshrHaveData[n] || s.mshrAcksNeed[n] < 0)
+            return;
+        if (s.mshrAcksGot[n] <
+            static_cast<std::uint8_t>(s.mshrAcksNeed[n]))
+            return;
+        completeWrite(s, n);
+    }
+}
+
+bool
+ProtocolModel::undelegate(State &s, unsigned p, std::uint8_t pend_req,
+                          std::uint8_t pend_is_write,
+                          std::uint8_t pend_seq) const
+{
+    MMsg und;
+    und.type = MType::Undele;
+    und.version = s.prodV;
+    und.requester = pend_req;
+    und.acks = pend_is_write;
+    und.seq = pend_seq;
+    if (s.prodIsExcl) {
+        und.owner = static_cast<std::uint8_t>(p);
+        und.sharers = 0;
+    } else {
+        und.owner = none;
+        und.sharers =
+            static_cast<std::uint8_t>(s.prodSharers | (1u << p));
+    }
+    if (s.chanLen[p][_cfg.home] >= chanDepth)
+        return false; // cannot hand off now: transition disabled
+    s.prodValid = 0;
+    s.prodNode = none;
+    s.intervPending = 0;
+    send(s, p, _cfg.home, und);
+    return true;
+}
+
+void
+ProtocolModel::transitions(const State &s,
+                           std::vector<State> &out) const
+{
+    const unsigned home = _cfg.home;
+
+    // --- CPU ops ----------------------------------------------------
+    for (unsigned n = 0; n < _cfg.nodes; ++n) {
+        // Read.
+        if (s.readsLeft[n] && !s.mshr[n]) {
+            if (s.cache[n] != CState::I) {
+                // Hit.
+                State t = s;
+                if (t.cacheV[n] < t.lastSeen[n])
+                    throw McError("hit read went backwards");
+                t.lastSeen[n] = t.cacheV[n];
+                --t.readsLeft[n];
+                out.push_back(std::move(t));
+            } else if (s.racMask & (1u << n)) {
+                // Local RAC hit (pushed update copy).
+                State t = s;
+                if (t.racV[n] < t.lastSeen[n])
+                    throw McError("RAC read went backwards");
+                t.lastSeen[n] = t.racV[n];
+                t.cache[n] = CState::S;
+                t.cacheV[n] = t.racV[n];
+                t.racMask &= ~(1u << n);
+                --t.readsLeft[n];
+                out.push_back(std::move(t));
+            } else {
+                // Miss: issue to the home, or to the delegate if one
+                // exists (consumer-table hint, modeled as a choice).
+                MMsg req;
+                req.type = MType::ReqS;
+                req.requester = static_cast<std::uint8_t>(n);
+                State t = s;
+                t.mshr[n] = 1;
+                t.mshrSeq[n] = (t.mshrSeq[n] + 1) & 7;
+                req.seq = t.mshrSeq[n];
+                --t.readsLeft[n];
+                if (s.prodValid && s.prodNode == n) {
+                    if (send(t, n, n, req))
+                        out.push_back(std::move(t));
+                } else {
+                    State t2 = t; // copy before send mutates channels
+                    if (send(t, n, home, req))
+                        out.push_back(std::move(t));
+                    if (s.prodValid && s.prodNode != n &&
+                        s.prodNode != home) {
+                        if (send(t2, n, s.prodNode, req))
+                            out.push_back(std::move(t2));
+                    }
+                }
+            }
+        }
+        // Write.
+        if (s.writesLeft && !s.mshr[n]) {
+            if (s.cache[n] == CState::M) {
+                State t = s;
+                t.mshrV[n] = t.cacheV[n];
+                --t.writesLeft;
+                // Store hit: perform directly.
+                t.mshrHaveData[n] = 1;
+                t.mshr[n] = 2;
+                t.mshrAcksNeed[n] = 0;
+                completeWrite(t, n);
+                out.push_back(std::move(t));
+            } else {
+                MMsg req;
+                req.type = MType::ReqX;
+                req.requester = static_cast<std::uint8_t>(n);
+                State t = s;
+                t.mshr[n] = 2;
+                t.mshrSeq[n] = (t.mshrSeq[n] + 1) & 7;
+                req.seq = t.mshrSeq[n];
+                t.mshrAcksNeed[n] = -1;
+                t.mshrAcksGot[n] = 0;
+                t.mshrHaveData[n] = 0;
+                --t.writesLeft;
+                if (s.prodValid && s.prodNode == n) {
+                    // Delegated to us: the producer table serves it.
+                    if (send(t, n, n, req))
+                        out.push_back(std::move(t));
+                } else {
+                    State t2 = t;
+                    if (send(t, n, home, req))
+                        out.push_back(std::move(t));
+                    if (s.prodValid && s.prodNode != n &&
+                        s.prodNode != home) {
+                        if (send(t2, n, s.prodNode, req))
+                            out.push_back(std::move(t2));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Delayed intervention firing ---------------------------------
+    if (s.intervPending && s.prodValid) {
+        State t = s;
+        t.intervPending = 0;
+        const unsigned p = t.prodNode;
+        if (t.prodIsExcl && t.cache[p] == CState::M) {
+            t.cache[p] = CState::S;
+            t.prodV = t.cacheV[p];
+            const std::uint8_t update_set =
+                t.prodSharers & ~(1u << p);
+            t.prodIsExcl = 0;
+            t.prodSharers = update_set | (1u << p);
+            bool ok = true;
+            if (_cfg.updates) {
+                for (unsigned c = 0; c < _cfg.nodes && ok; ++c) {
+                    if (!(update_set & (1u << c)))
+                        continue;
+                    MMsg up;
+                    up.type = MType::Update;
+                    up.version = t.prodV;
+                    ok = send(t, p, c, up);
+                }
+            }
+            if (ok)
+                out.push_back(std::move(t));
+        } else {
+            out.push_back(std::move(t));
+        }
+    }
+
+    // --- Message deliveries ------------------------------------------
+    for (unsigned src = 0; src < _cfg.nodes; ++src) {
+        for (unsigned dst = 0; dst < _cfg.nodes; ++dst) {
+            if (s.chanLen[src][dst]) {
+                State copy = s;
+                deliver(copy, src, dst, out);
+            }
+        }
+    }
+}
+
+void
+ProtocolModel::deliver(State &t, unsigned src, unsigned dst,
+                       std::vector<State> &out) const
+{
+    // Pop the head (FIFO per pair).
+    MMsg m = t.chan[src][dst][0];
+    for (unsigned i = 1; i < t.chanLen[src][dst]; ++i)
+        t.chan[src][dst][i - 1] = t.chan[src][dst][i];
+    --t.chanLen[src][dst];
+    t.chan[src][dst][t.chanLen[src][dst]] = MMsg{};
+
+    const bool for_home_side =
+        m.type == MType::ReqS || m.type == MType::ReqX ||
+        m.type == MType::Shwb || m.type == MType::XferAck ||
+        m.type == MType::IntervNack || m.type == MType::Undele;
+
+    if (for_home_side) {
+        if ((m.type == MType::ReqS || m.type == MType::ReqX) &&
+            t.prodValid && t.prodNode == dst) {
+            applyAtNode(std::move(t), dst, src, m, out);
+            return;
+        }
+        if (dst == _cfg.home) {
+            applyAtHome(std::move(t), src, m, out);
+            return;
+        }
+        // Stale hint: not the home, no producer entry.
+        MMsg nack;
+        nack.type = MType::NackNotHome;
+        nack.seq = m.seq;
+        if (send(t, dst, m.requester, nack))
+            out.push_back(std::move(t));
+        return;
+    }
+    applyAtNode(std::move(t), dst, src, m, out);
+}
+
+void
+ProtocolModel::applyAtHome(State t, unsigned src, const MMsg &m,
+                           std::vector<State> &out) const
+{
+    const unsigned home = _cfg.home;
+    const unsigned r = m.requester;
+
+    auto nack = [&](State &st, unsigned to) {
+        MMsg n;
+        n.type = MType::Nack;
+        n.seq = m.seq;
+        return send(st, home, to, n);
+    };
+
+    switch (m.type) {
+      case MType::ReqS: {
+        switch (t.dir) {
+          case DState::U:
+          case DState::S: {
+            t.dir = DState::S;
+            t.sharers |= (1u << r);
+            MMsg resp;
+            resp.type = MType::RespS;
+            resp.version = t.memV;
+            resp.seq = m.seq;
+            if (send(t, home, r, resp))
+                out.push_back(std::move(t));
+            break;
+          }
+          case DState::E: {
+            if (t.owner == r) {
+                if (nack(t, r))
+                    out.push_back(std::move(t));
+                break;
+            }
+            t.pendReq = static_cast<std::uint8_t>(r);
+            t.pendOwner = t.owner;
+            t.pendIsWrite = 0;
+            t.pendSeq = m.seq;
+            t.dir = DState::BusyR;
+            MMsg iv;
+            iv.type = MType::IntervDown;
+            iv.requester = static_cast<std::uint8_t>(r);
+            iv.seq = m.seq;
+            if (send(t, home, t.pendOwner, iv))
+                out.push_back(std::move(t));
+            break;
+          }
+          case DState::BusyR:
+          case DState::BusyE:
+            if (nack(t, r))
+                out.push_back(std::move(t));
+            break;
+          case DState::Dele: {
+            if (r == t.owner) {
+                if (nack(t, r))
+                    out.push_back(std::move(t));
+                break;
+            }
+            MMsg fwd = m;
+            if (send(t, home, t.owner, fwd))
+                out.push_back(std::move(t));
+            break;
+          }
+        }
+        break;
+      }
+
+      case MType::ReqX: {
+        // Nondeterministic delegation decision (over-approximates the
+        // detector): branch both ways when permitted.
+        if (_cfg.delegation &&
+            (t.dir == DState::U || t.dir == DState::S)) {
+            State d = t;
+            d.dir = DState::Dele;
+            d.owner = static_cast<std::uint8_t>(r);
+            MMsg del;
+            del.type = MType::Delegate;
+            del.version = d.memV;
+            del.sharers = d.sharers;
+            del.seq = m.seq;
+            const std::uint8_t shr = d.sharers;
+            d.sharers = 0;
+            (void)shr;
+            if (send(d, home, r, del))
+                out.push_back(std::move(d));
+        }
+        switch (t.dir) {
+          case DState::U: {
+            t.dir = DState::E;
+            t.owner = static_cast<std::uint8_t>(r);
+            t.sharers = 0;
+            MMsg resp;
+            resp.type = MType::RespX;
+            resp.version = t.memV;
+            resp.acks = 0;
+            resp.seq = m.seq;
+            if (send(t, home, r, resp))
+                out.push_back(std::move(t));
+            break;
+          }
+          case DState::S: {
+            const std::uint8_t targets = t.sharers & ~(1u << r);
+            bool ok = true;
+            for (unsigned c = 0; c < _cfg.nodes && ok; ++c) {
+                if (!(targets & (1u << c)))
+                    continue;
+                MMsg iv;
+                iv.type = MType::Inval;
+                iv.requester = static_cast<std::uint8_t>(r);
+                iv.version = t.memV;
+                iv.seq = m.seq;
+                ok = send(t, home, c, iv);
+            }
+            if (!ok)
+                break;
+            t.dir = DState::E;
+            t.owner = static_cast<std::uint8_t>(r);
+            t.sharers = 0;
+            MMsg resp;
+            resp.type = MType::RespX;
+            resp.version = t.memV;
+            resp.acks = popcount(targets);
+            resp.seq = m.seq;
+            if (send(t, home, r, resp))
+                out.push_back(std::move(t));
+            break;
+          }
+          case DState::E: {
+            if (t.owner == r) {
+                if (nack(t, r))
+                    out.push_back(std::move(t));
+                break;
+            }
+            t.pendReq = static_cast<std::uint8_t>(r);
+            t.pendOwner = t.owner;
+            t.pendIsWrite = 1;
+            t.pendSeq = m.seq;
+            t.dir = DState::BusyE;
+            MMsg iv;
+            iv.type = MType::IntervXfer;
+            iv.requester = static_cast<std::uint8_t>(r);
+            iv.seq = m.seq;
+            if (send(t, home, t.pendOwner, iv))
+                out.push_back(std::move(t));
+            break;
+          }
+          case DState::BusyR:
+          case DState::BusyE:
+            if (nack(t, r))
+                out.push_back(std::move(t));
+            break;
+          case DState::Dele: {
+            if (r == t.owner) {
+                if (nack(t, r))
+                    out.push_back(std::move(t));
+                break;
+            }
+            MMsg fwd = m;
+            if (send(t, home, t.owner, fwd))
+                out.push_back(std::move(t));
+            break;
+          }
+        }
+        break;
+      }
+
+      case MType::Shwb: {
+        if (t.dir != DState::BusyR)
+            throw McError("SHWB outside BusyR");
+        t.memV = m.version;
+        t.dir = DState::S;
+        t.sharers = static_cast<std::uint8_t>((1u << t.pendOwner) |
+                                              (1u << t.pendReq));
+        t.owner = none;
+        t.pendReq = none;
+        t.pendOwner = none;
+        out.push_back(std::move(t));
+        break;
+      }
+
+      case MType::XferAck: {
+        if (t.dir != DState::BusyE)
+            throw McError("XferAck outside BusyE");
+        t.dir = DState::E;
+        t.owner = t.pendReq;
+        t.sharers = 0;
+        t.pendReq = none;
+        t.pendOwner = none;
+        out.push_back(std::move(t));
+        break;
+      }
+
+      case MType::IntervNack: {
+        if ((t.dir == DState::BusyR || t.dir == DState::BusyE) &&
+            t.pendOwner == src) {
+            const std::uint8_t req = t.pendReq;
+            MMsg nk;
+            nk.type = MType::Nack;
+            nk.seq = t.pendSeq;
+            t.dir = DState::E;
+            t.owner = t.pendOwner;
+            t.sharers = 0;
+            t.pendReq = none;
+            t.pendOwner = none;
+            if (send(t, home, req, nk))
+                out.push_back(std::move(t));
+        } else {
+            out.push_back(std::move(t)); // stale: drop
+        }
+        break;
+      }
+
+      case MType::Undele: {
+        if (t.dir != DState::Dele || t.owner != src)
+            throw McError("Undele in wrong state");
+        t.memV = m.version;
+        if (m.owner != none) {
+            t.dir = DState::E;
+            t.owner = m.owner;
+            t.sharers = 0;
+        } else if (m.sharers) {
+            t.dir = DState::S;
+            t.sharers = m.sharers;
+            t.owner = none;
+        } else {
+            t.dir = DState::U;
+            t.owner = none;
+            t.sharers = 0;
+        }
+        if (m.requester != none) {
+            // Re-handle the pending request that forced this.
+            MMsg req;
+            req.type = m.acks ? MType::ReqX : MType::ReqS;
+            req.requester = m.requester;
+            req.seq = m.seq;
+            if (!send(t, home, home, req))
+                break;
+        }
+        out.push_back(std::move(t));
+        break;
+      }
+
+      default:
+        throw McError("unexpected message at home");
+    }
+}
+
+void
+ProtocolModel::applyAtNode(State t, unsigned dst, unsigned src,
+                           const MMsg &m,
+                           std::vector<State> &out) const
+{
+    const unsigned home = _cfg.home;
+    const unsigned n = dst;
+
+    switch (m.type) {
+      case MType::ReqS:
+      case MType::ReqX: {
+        // Producer-table service (delegated home).
+        if (!t.prodValid || t.prodNode != n)
+            throw McError("request at node without producer entry");
+        const unsigned r = m.requester;
+        if (r != n && t.mshr[n]) {
+            MMsg nk;
+            nk.type = MType::Nack;
+            nk.seq = m.seq;
+            if (send(t, n, r, nk))
+                out.push_back(std::move(t));
+            break;
+        }
+        if (m.type == MType::ReqS) {
+            if (t.prodIsExcl) {
+                if (_cfg.updates && t.intervPending) {
+                    MMsg nk;
+                    nk.type = MType::Nack;
+                    nk.seq = m.seq;
+                    if (send(t, n, r, nk))
+                        out.push_back(std::move(t));
+                    break;
+                }
+                // On-demand downgrade.
+                if (t.cache[n] == CState::M) {
+                    t.cache[n] = CState::S;
+                    t.prodV = t.cacheV[n];
+                }
+                t.prodIsExcl = 0;
+                t.prodSharers |= (1u << n);
+            }
+            t.prodSharers |= (1u << r);
+            MMsg resp;
+            resp.type = MType::RespS;
+            resp.version = t.prodV;
+            resp.seq = m.seq;
+            if (send(t, n, r, resp))
+                out.push_back(std::move(t));
+            break;
+        }
+        // ReqX.
+        if (r == n) {
+            // Local write through the producer entry.
+            if (t.prodIsExcl)
+                throw McError("local write while producer EXCL");
+            const std::uint8_t targets = t.prodSharers & ~(1u << n);
+            bool ok = true;
+            for (unsigned c = 0; c < _cfg.nodes && ok; ++c) {
+                if (!(targets & (1u << c)))
+                    continue;
+                MMsg iv;
+                iv.type = MType::Inval;
+                iv.requester = static_cast<std::uint8_t>(n);
+                iv.version = t.prodV;
+                iv.seq = m.seq;
+                ok = send(t, n, c, iv);
+            }
+            if (!ok)
+                break;
+            t.prodIsExcl = 1;
+            MMsg grant;
+            grant.type = MType::RespX;
+            grant.version = t.prodV;
+            grant.acks = popcount(targets);
+            grant.seq = m.seq;
+            if (send(t, n, n, grant))
+                out.push_back(std::move(t));
+        } else {
+            // Undelegation reason 3.
+            if (undelegate(t, n, static_cast<std::uint8_t>(r),
+                           /*pend_is_write=*/1, m.seq)) {
+                out.push_back(std::move(t));
+            }
+        }
+        break;
+      }
+
+      case MType::Inval: {
+        t.tombV[n] = std::max(t.tombV[n], m.version);
+        t.cache[n] = CState::I;
+        t.racMask &= ~(1u << n);
+        if (t.mshr[n] == 1)
+            t.fillInval[n] = 1;
+        MMsg ack;
+        ack.type = MType::InvalAck;
+        ack.seq = m.seq;
+        if (send(t, n, m.requester, ack))
+            out.push_back(std::move(t));
+        break;
+      }
+
+      case MType::IntervDown: {
+        if (t.mshr[n] == 2 || t.cache[n] == CState::I) {
+            MMsg nk;
+            nk.type = MType::IntervNack;
+            if (send(t, n, home, nk))
+                out.push_back(std::move(t));
+            break;
+        }
+        t.cache[n] = CState::S;
+        MMsg data;
+        data.type = MType::SharedResp;
+        data.version = t.cacheV[n];
+        data.seq = m.seq;
+        MMsg wb;
+        wb.type = MType::Shwb;
+        wb.version = t.cacheV[n];
+        if (send(t, n, m.requester, data) && send(t, n, home, wb))
+            out.push_back(std::move(t));
+        break;
+      }
+
+      case MType::IntervXfer: {
+        if (t.mshr[n] == 2 || t.cache[n] == CState::I) {
+            MMsg nk;
+            nk.type = MType::IntervNack;
+            if (send(t, n, home, nk))
+                out.push_back(std::move(t));
+            break;
+        }
+        const std::uint8_t v = t.cacheV[n];
+        t.cache[n] = CState::I;
+        t.racMask &= ~(1u << n);
+        MMsg data;
+        data.type = MType::XferResp;
+        data.version = v;
+        data.seq = m.seq;
+        MMsg ack;
+        ack.type = MType::XferAck;
+        if (send(t, n, m.requester, data) && send(t, n, home, ack))
+            out.push_back(std::move(t));
+        break;
+      }
+
+      case MType::RespS:
+      case MType::SharedResp: {
+        if (t.mshr[n] != 1 || m.seq != t.mshrSeq[n]) {
+            out.push_back(std::move(t)); // stale: drop
+            break;
+        }
+        t.mshrHaveData[n] = 1;
+        t.mshrV[n] = m.version;
+        maybeComplete(t, n);
+        out.push_back(std::move(t));
+        break;
+      }
+
+      case MType::RespX:
+      case MType::XferResp: {
+        if (t.mshr[n] != 2 || m.seq != t.mshrSeq[n]) {
+            out.push_back(std::move(t));
+            break;
+        }
+        t.mshrHaveData[n] = 1;
+        t.mshrV[n] = m.version;
+        t.mshrAcksNeed[n] =
+            m.type == MType::RespX ? static_cast<std::int8_t>(m.acks)
+                                   : 0;
+        maybeComplete(t, n);
+        out.push_back(std::move(t));
+        break;
+      }
+
+      case MType::InvalAck: {
+        if (t.mshr[n] == 2 && m.seq == t.mshrSeq[n]) {
+            ++t.mshrAcksGot[n];
+            maybeComplete(t, n);
+        }
+        out.push_back(std::move(t));
+        break;
+      }
+
+      case MType::Nack: {
+        if (!t.mshr[n] || m.seq != t.mshrSeq[n]) {
+            out.push_back(std::move(t));
+            break;
+        }
+        // Retry: the RAC may have been filled by a push meanwhile.
+        if (t.mshr[n] == 1 && (t.racMask & (1u << n))) {
+            t.mshrHaveData[n] = 1;
+            t.mshrV[n] = t.racV[n];
+            t.fillInval[n] = 0;
+            t.racMask &= ~(1u << n);
+            maybeComplete(t, n);
+            out.push_back(std::move(t));
+            break;
+        }
+        MMsg req;
+        req.type = t.mshr[n] == 1 ? MType::ReqS : MType::ReqX;
+        req.requester = static_cast<std::uint8_t>(n);
+        req.seq = t.mshrSeq[n]; // same transaction, same tag
+        if (t.prodValid && t.prodNode == n) {
+            if (send(t, n, n, req))
+                out.push_back(std::move(t));
+            break;
+        }
+        State t2 = t;
+        if (send(t, n, home, req))
+            out.push_back(std::move(t));
+        if (t2.prodValid && t2.prodNode != n && t2.prodNode != home) {
+            const unsigned p = t2.prodNode;
+            if (send(t2, n, p, req))
+                out.push_back(std::move(t2));
+        }
+        break;
+      }
+
+      case MType::NackNotHome: {
+        if (!t.mshr[n] || m.seq != t.mshrSeq[n]) {
+            out.push_back(std::move(t));
+            break;
+        }
+        MMsg req;
+        req.type = t.mshr[n] == 1 ? MType::ReqS : MType::ReqX;
+        req.requester = static_cast<std::uint8_t>(n);
+        req.seq = t.mshrSeq[n];
+        if (send(t, n, home, req))
+            out.push_back(std::move(t));
+        break;
+      }
+
+      case MType::Delegate: {
+        t.prodValid = 1;
+        t.prodNode = static_cast<std::uint8_t>(n);
+        t.prodIsExcl = 0;
+        t.prodSharers = m.sharers;
+        t.prodV = m.version;
+        if (t.mshr[n] == 2) {
+            // Serve the pending local write as the acting home.
+            const std::uint8_t targets = t.prodSharers & ~(1u << n);
+            bool ok = true;
+            for (unsigned c = 0; c < _cfg.nodes && ok; ++c) {
+                if (!(targets & (1u << c)))
+                    continue;
+                MMsg iv;
+                iv.type = MType::Inval;
+                iv.requester = static_cast<std::uint8_t>(n);
+                iv.version = t.prodV;
+                iv.seq = m.seq;
+                ok = send(t, n, c, iv);
+            }
+            if (!ok)
+                break;
+            t.prodIsExcl = 1;
+            MMsg grant;
+            grant.type = MType::RespX;
+            grant.version = t.prodV;
+            grant.acks = popcount(targets);
+            grant.seq = m.seq;
+            if (send(t, n, n, grant))
+                out.push_back(std::move(t));
+        } else {
+            out.push_back(std::move(t));
+        }
+        break;
+      }
+
+      case MType::Update: {
+        if (m.version <= t.tombV[n]) {
+            out.push_back(std::move(t)); // stale push: drop
+            break;
+        }
+        if (t.mshr[n] == 1) {
+            t.mshrHaveData[n] = 1;
+            t.mshrV[n] = m.version;
+            t.fillInval[n] = 0;
+            maybeComplete(t, n);
+            out.push_back(std::move(t));
+            break;
+        }
+        if (t.mshr[n] == 2 || t.cache[n] != CState::I) {
+            out.push_back(std::move(t));
+            break;
+        }
+        t.racMask |= (1u << n);
+        t.racV[n] = m.version;
+        out.push_back(std::move(t));
+        break;
+      }
+
+      default:
+        throw McError("unexpected message at node");
+    }
+}
+
+void
+ProtocolModel::checkInvariants(const State &s) const
+{
+    unsigned owners = 0;
+    for (unsigned n = 0; n < _cfg.nodes; ++n) {
+        if (s.cache[n] == CState::M) {
+            ++owners;
+            if (s.cacheV[n] != s.curV)
+                throw McError("M copy is not the current version");
+            for (unsigned m = 0; m < _cfg.nodes; ++m) {
+                if (m != n && s.cache[m] != CState::I)
+                    throw McError("M coexists with another copy");
+            }
+            if (s.racMask)
+                throw McError("M coexists with a RAC copy");
+        }
+        if (s.cache[n] == CState::S && s.cacheV[n] != s.curV)
+            throw McError("stale SHARED copy");
+        if ((s.racMask & (1u << n)) && s.racV[n] != s.curV)
+            throw McError("stale RAC copy");
+    }
+    if (owners > 1)
+        throw McError("multiple writers");
+
+    // Directory consistency (outside transients, which are covered by
+    // the Busy/Dele states).
+    if (s.dir == DState::U && !s.prodValid) {
+        for (unsigned n = 0; n < _cfg.nodes; ++n) {
+            if (s.cache[n] != CState::I)
+                throw McError("holder under Unowned directory");
+        }
+    }
+    if (s.dir == DState::Dele) {
+        if (!s.prodValid) {
+            // Legal transiently (Delegate or Undele in flight);
+            // illegal when no such message exists.
+            bool in_flight = false;
+            for (unsigned a = 0; a < _cfg.nodes; ++a) {
+                for (unsigned b = 0; b < _cfg.nodes; ++b) {
+                    for (unsigned i = 0; i < s.chanLen[a][b]; ++i) {
+                        const MType ty = s.chan[a][b][i].type;
+                        if (ty == MType::Delegate ||
+                            ty == MType::Undele)
+                            in_flight = true;
+                    }
+                }
+            }
+            if (!in_flight)
+                throw McError("DELE with no delegate and no handoff "
+                              "in flight");
+        }
+    }
+
+    // Channel sanity.
+    for (unsigned a = 0; a < _cfg.nodes; ++a) {
+        for (unsigned b = 0; b < _cfg.nodes; ++b) {
+            if (s.chanLen[a][b] > chanDepth)
+                throw McError("channel overflow");
+        }
+    }
+}
+
+std::string
+ProtocolModel::describe(const State &s) const
+{
+    std::ostringstream os;
+    os << "dir=" << static_cast<int>(s.dir)
+       << " sharers=" << int(s.sharers) << " owner=" << int(s.owner)
+       << " memV=" << int(s.memV) << " curV=" << int(s.curV)
+       << " writesLeft=" << int(s.writesLeft) << "\n";
+    for (unsigned n = 0; n < _cfg.nodes; ++n) {
+        os << "  node" << n << ": cache="
+           << (s.cache[n] == CState::I
+                   ? "I"
+                   : s.cache[n] == CState::S ? "S" : "M")
+           << " v=" << int(s.cacheV[n]) << " mshr=" << int(s.mshr[n])
+           << " readsLeft=" << int(s.readsLeft[n]) << "\n";
+    }
+    os << "  prod: valid=" << int(s.prodValid) << " node="
+       << int(s.prodNode) << " excl=" << int(s.prodIsExcl)
+       << " sharers=" << int(s.prodSharers) << "\n";
+    os << "  racMask=" << int(s.racMask) << " racV=[";
+    for (unsigned n = 0; n < _cfg.nodes; ++n)
+        os << int(s.racV[n]) << (n + 1 < _cfg.nodes ? "," : "");
+    os << "] tombV=[";
+    for (unsigned n = 0; n < _cfg.nodes; ++n)
+        os << int(s.tombV[n]) << (n + 1 < _cfg.nodes ? "," : "");
+    os << "]\n";
+    for (unsigned a = 0; a < _cfg.nodes; ++a) {
+        for (unsigned b = 0; b < _cfg.nodes; ++b) {
+            for (unsigned i = 0; i < s.chanLen[a][b]; ++i) {
+                const MMsg &m = s.chan[a][b][i];
+                os << "  msg " << a << "->" << b << " type="
+                   << static_cast<int>(m.type)
+                   << " req=" << int(m.requester) << " v="
+                   << int(m.version) << " acks=" << int(m.acks)
+                   << " seq=" << int(m.seq) << "\n";
+            }
+        }
+    }
+    os << "  lastSeen=[";
+    for (unsigned n = 0; n < _cfg.nodes; ++n)
+        os << int(s.lastSeen[n]) << (n + 1 < _cfg.nodes ? "," : "");
+    os << "] fillInval=[";
+    for (unsigned n = 0; n < _cfg.nodes; ++n)
+        os << int(s.fillInval[n]) << (n + 1 < _cfg.nodes ? "," : "");
+    os << "] mshrSeq=[";
+    for (unsigned n = 0; n < _cfg.nodes; ++n)
+        os << int(s.mshrSeq[n]) << (n + 1 < _cfg.nodes ? "," : "");
+    os << "] intervPending=" << int(s.intervPending);
+    return os.str();
+}
+
+} // namespace mc
+} // namespace pcsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-node DRAM model: fixed access latency plus channel occupancy.
+ *
+ * Table 1: 200 processor cycles latency, four 16-byte-data DDR
+ * channels driven by a 500 MHz hub (4 CPU cycles per hub cycle).
+ * A 128 B line transfer occupies one channel for 8 hub cycles
+ * (128 B / 16 B) = 32 CPU cycles.
+ */
+
+#ifndef PCSIM_MEM_DRAM_HH
+#define PCSIM_MEM_DRAM_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/** DRAM timing parameters. */
+struct DramConfig
+{
+    Tick accessLatency = 200;    ///< row access latency (CPU cycles)
+    unsigned channels = 4;
+    Tick lineOccupancy = 32;     ///< channel busy time per 128 B line
+};
+
+/** A node's local memory: models latency and channel contention. */
+class DramModel
+{
+  public:
+    explicit DramModel(DramConfig cfg = {})
+        : _cfg(cfg), _channelFree(cfg.channels, 0)
+    {
+    }
+
+    /**
+     * Issue an access at @p now; returns the completion tick.
+     * Picks the earliest-available channel.
+     */
+    Tick
+    access(Tick now)
+    {
+        ++_accesses;
+        auto it = std::min_element(_channelFree.begin(),
+                                   _channelFree.end());
+        Tick start = std::max(now, *it);
+        *it = start + _cfg.lineOccupancy;
+        return start + _cfg.accessLatency;
+    }
+
+    std::uint64_t numAccesses() const { return _accesses; }
+    const DramConfig &config() const { return _cfg; }
+
+  private:
+    DramConfig _cfg;
+    std::vector<Tick> _channelFree;
+    std::uint64_t _accesses = 0;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_MEM_DRAM_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Global address -> home node mapping with SGI first-touch placement.
+ *
+ * The first node to touch a page becomes its home (Section 3.2: "Data
+ * placement is done by SGI's first-touch policy"). A round-robin mode
+ * is available for experiments that want placement-independent homes.
+ */
+
+#ifndef PCSIM_MEM_MEMORY_MAP_HH
+#define PCSIM_MEM_MEMORY_MAP_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/sim/logging.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/** Page placement policy. */
+enum class Placement
+{
+    FirstTouch,
+    RoundRobin,
+};
+
+/** Maps pages of the simulated physical address space to home nodes. */
+class MemoryMap
+{
+  public:
+    MemoryMap(unsigned num_nodes, std::uint32_t page_bytes = 16 * 1024,
+              Placement policy = Placement::FirstTouch)
+        : _numNodes(num_nodes), _pageBytes(page_bytes), _policy(policy)
+    {
+        if (num_nodes == 0)
+            fatal("memory map needs nodes");
+    }
+
+    std::uint32_t pageBytes() const { return _pageBytes; }
+
+    /**
+     * Home node of @p addr; @p toucher claims unplaced pages under
+     * first-touch.
+     */
+    NodeId
+    homeOf(Addr addr, NodeId toucher)
+    {
+        const Addr page = addr / _pageBytes;
+        if (_policy == Placement::RoundRobin)
+            return static_cast<NodeId>(page % _numNodes);
+        auto [it, inserted] = _pages.try_emplace(page, toucher);
+        (void)inserted;
+        return it->second;
+    }
+
+    /** Home of an already-placed page (panics if unplaced). */
+    NodeId
+    homeOf(Addr addr) const
+    {
+        if (_policy == Placement::RoundRobin)
+            return static_cast<NodeId>((addr / _pageBytes) % _numNodes);
+        auto it = _pages.find(addr / _pageBytes);
+        if (it == _pages.end())
+            panic("homeOf: page of 0x%llx not placed",
+                  (unsigned long long)addr);
+        return it->second;
+    }
+
+    /** Pre-place a page explicitly (workload initialization). */
+    void
+    place(Addr addr, NodeId home)
+    {
+        _pages[addr / _pageBytes] = home;
+    }
+
+    std::size_t numPlacedPages() const { return _pages.size(); }
+
+  private:
+    unsigned _numNodes;
+    std::uint32_t _pageBytes;
+    Placement _policy;
+    std::unordered_map<Addr, NodeId> _pages;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_MEM_MEMORY_MAP_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Coherence message definitions for the pcsim interconnect.
+ *
+ * The message vocabulary covers the base SGI-Origin-style directory
+ * write-invalidate protocol plus the HPCA'07 extensions: directory
+ * delegation (DELEGATE / UNDELE / not-home NACKs) and speculative
+ * updates (UPDATE pushes into consumer RACs).
+ */
+
+#ifndef PCSIM_NET_MESSAGE_HH
+#define PCSIM_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/** All message types exchanged between node hubs. */
+enum class MsgType : std::uint8_t
+{
+    // Requests (requester -> home or delegated home).
+    ReqShared,       ///< read miss: request a read-only copy
+    ReqExcl,         ///< write miss: request an exclusive copy
+    ReqUpgrade,      ///< write hit on SHARED copy: request ownership
+    WritebackM,      ///< eviction of a modified line (carries data)
+
+    // Home -> requester replies.
+    RespSharedData,  ///< read-only data reply
+    RespExclData,    ///< exclusive data reply (+ count of invals to wait)
+    RespUpgradeAck,  ///< ownership granted without data (+ inval count)
+    WritebackAck,    ///< writeback accepted
+    Nack,            ///< busy; retry the same target later
+    NackNotHome,     ///< target no longer manages the line; retry at home
+    HomeHint,        ///< "line is delegated to node X"; cache the hint
+
+    // Home -> third party interventions.
+    Inval,           ///< invalidate your copy; ack the requester
+    IntervDowngrade, ///< downgrade M->S; data to requester, SHWB to home
+    IntervTransfer,  ///< yield M to requester; data to req, ack to home
+
+    // Third party responses.
+    InvalAck,        ///< invalidation done (sent to requester)
+    SharedResp,      ///< downgraded data to the reading requester
+    SharedWriteback, ///< downgraded data back to the home (SHWB)
+    ExclResp,        ///< transferred exclusive data to the requester
+    TransferAck,     ///< ownership transfer complete (sent to home)
+    IntervNack,      ///< intervention target no longer holds the line
+
+    // Directory delegation (Section 2.3).
+    Delegate,        ///< home -> producer: directory info + data
+    Undele,          ///< producer -> home: directory info + data back
+
+    // Speculative updates (Section 2.4).
+    Update,          ///< producer -> consumer: pushed line contents
+
+    NumMsgTypes
+};
+
+/** Human-readable message type name (for traces and stats). */
+const char *msgTypeName(MsgType t);
+
+/** True for message types that carry a full cache line of data. */
+bool msgCarriesData(MsgType t);
+
+/**
+ * A network message. Field usage varies by type; unused fields keep
+ * their defaults. Data payloads are abstracted to a line Version (see
+ * DESIGN.md): the version is the write-epoch stamp the coherence
+ * checker validates.
+ */
+struct Message
+{
+    MsgType type = MsgType::Nack;
+    Addr addr = invalidAddr;    ///< line-aligned address
+    NodeId src = invalidNode;   ///< sending hub
+    NodeId dst = invalidNode;   ///< receiving hub
+    NodeId requester = invalidNode; ///< original requester (3-hop flows)
+
+    Version version = 0;        ///< line write-epoch (data abstraction)
+    bool dirty = false;         ///< data differs from home memory
+    std::uint32_t sharers = 0;  ///< sharer bit-vector (Delegate/Undele)
+    std::uint16_t ackCount = 0; ///< invalidation acks to expect
+    NodeId hintHome = invalidNode; ///< delegated home (HomeHint)
+    NodeId owner = invalidNode; ///< owner field (Delegate/Undele)
+
+    /** Undele: a pending exclusive request the home should service. */
+    NodeId pendingReq = invalidNode;
+    MsgType pendingType = MsgType::Nack;
+
+    /** Monotone id for tracing. Assigned by the Network on send. */
+    std::uint64_t msgId = 0;
+
+    /**
+     * Transaction id: stamped on requests by the requester's MSHR and
+     * echoed on every reply (data, acks, NACKs) so responses that
+     * outlive their transaction -- e.g. a home reply racing a
+     * speculative update that already satisfied the read -- are
+     * recognized as stale and dropped.
+     */
+    std::uint64_t txnId = 0;
+
+    /** Wire size in bytes: 32 B header; +128 B if data-carrying. */
+    std::uint32_t sizeBytes() const;
+
+    std::string toString() const;
+};
+
+/** Abstract sink for delivered messages (implemented by node hubs). */
+class MessageHandler
+{
+  public:
+    virtual ~MessageHandler() = default;
+    virtual void handleMessage(const Message &msg) = 0;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_NET_MESSAGE_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The interconnect: message delivery with per-hop latency and hub port
+ * (network interface) contention.
+ *
+ * Per Section 3.1 we do not model contention inside routers, but do
+ * model hub port contention: each node's NI serializes injection and
+ * ejection at a configurable bandwidth. Point-to-point ordering per
+ * (src,dst) pair is preserved, which the protocol's writeback-race
+ * handling relies on (see DESIGN.md).
+ *
+ * Messages with src == dst model hub-internal transfers (e.g. the
+ * processor-side controller talking to the local directory): they are
+ * delivered after a small local latency and are NOT counted as network
+ * traffic.
+ */
+
+#ifndef PCSIM_NET_NETWORK_HH
+#define PCSIM_NET_NETWORK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/message.hh"
+#include "src/net/topology.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/stats.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/** Configuration for the interconnect. */
+struct NetworkConfig
+{
+    /** Cycles per router hop (Table 1: 100 CPU cycles = 50 ns). */
+    Tick hopLatency = 100;
+    /** NI bandwidth in bytes per CPU cycle (16 B per 500 MHz hub
+     *  cycle = 4 B per 2 GHz CPU cycle). */
+    std::uint32_t niBytesPerCycle = 4;
+    /** Hub-internal transfer latency for src == dst messages. */
+    Tick localLatency = 16;
+};
+
+/**
+ * Event-driven interconnect connecting all node hubs.
+ */
+class Network : public SimObject
+{
+  public:
+    Network(EventQueue &eq, unsigned num_nodes, NetworkConfig cfg = {});
+
+    /** Attach the hub that receives messages for @p node. */
+    void registerHandler(NodeId node, MessageHandler *handler);
+
+    /** Inject @p msg; it will be delivered to msg.dst's handler. */
+    void send(Message msg);
+
+    const FatTreeTopology &topology() const { return _topo; }
+    const NetworkConfig &config() const { return _cfg; }
+
+    /** @name Traffic statistics (remote messages only). */
+    /// @{
+    std::uint64_t numMessages() const { return _numMessages; }
+    std::uint64_t numBytes() const { return _numBytes; }
+    std::uint64_t numLocalMessages() const { return _numLocal; }
+    std::uint64_t numByType(MsgType t) const
+    {
+        return _perType[static_cast<std::size_t>(t)];
+    }
+    const Histogram &hopHistogram() const { return _hopHist; }
+    /// @}
+
+    void resetStats();
+
+  private:
+    NetworkConfig _cfg;
+    FatTreeTopology _topo;
+    std::vector<MessageHandler *> _handlers;
+
+    /** Per-node NI next-free times (egress = injection, ingress =
+     *  ejection). */
+    std::vector<Tick> _egressFree;
+    std::vector<Tick> _ingressFree;
+
+    std::uint64_t _nextMsgId = 1;
+    std::uint64_t _numMessages = 0;
+    std::uint64_t _numBytes = 0;
+    std::uint64_t _numLocal = 0;
+    std::vector<std::uint64_t> _perType;
+    Histogram _hopHist;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_NET_NETWORK_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * NUMALink-4-style fat-tree topology.
+ *
+ * Non-leaf routers have eight children (Section 3.1). For the default
+ * 16-node system that means two leaf routers under one root: traffic
+ * between nodes on the same leaf router crosses 1 router hop, traffic
+ * across leaves crosses 2. Latency per hop is configurable (Table 1:
+ * 100 processor cycles = 50 ns at 2 GHz; Figure 10 sweeps 25-200 ns).
+ */
+
+#ifndef PCSIM_NET_TOPOLOGY_HH
+#define PCSIM_NET_TOPOLOGY_HH
+
+#include <cstdint>
+
+#include "src/sim/logging.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/** Radix-8 fat tree over @c numNodes leaves. */
+class FatTreeTopology
+{
+  public:
+    explicit FatTreeTopology(unsigned num_nodes, unsigned radix = 8)
+        : _numNodes(num_nodes), _radix(radix)
+    {
+        if (num_nodes == 0)
+            fatal("topology needs at least one node");
+        if (radix < 2)
+            fatal("router radix must be >= 2");
+        // Depth of the tree: number of router levels needed so that
+        // radix^depth >= numNodes.
+        _depth = 1;
+        std::uint64_t reach = _radix;
+        while (reach < _numNodes) {
+            reach *= _radix;
+            ++_depth;
+        }
+    }
+
+    unsigned numNodes() const { return _numNodes; }
+    unsigned radix() const { return _radix; }
+    unsigned depth() const { return _depth; }
+
+    /**
+     * Number of router-to-router / node-to-router hops a message
+     * traverses from @p src to @p dst. Local delivery is 0 hops;
+     * nodes under the same leaf router are 1 hop apart; each extra
+     * tree level adds 1 hop (up through the common ancestor).
+     */
+    unsigned
+    hops(NodeId src, NodeId dst) const
+    {
+        if (src == dst)
+            return 0;
+        // Find the level of the lowest common ancestor: divide both
+        // ids by radix until they match.
+        unsigned level = 1;
+        std::uint64_t a = src / _radix;
+        std::uint64_t b = dst / _radix;
+        while (a != b) {
+            a /= _radix;
+            b /= _radix;
+            ++level;
+        }
+        return level;
+    }
+
+    /** Largest hop count possible in this topology. */
+    unsigned maxHops() const { return _depth; }
+
+  private:
+    unsigned _numNodes;
+    unsigned _radix;
+    unsigned _depth;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_NET_TOPOLOGY_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Processor-side coherence agent.
+ *
+ * Owns the node's L1D and L2 arrays and the MSHRs. Responsibilities:
+ *  - service CPU loads/stores (hits locally, misses via the protocol),
+ *  - route requests: producer table (line delegated to this node) ->
+ *    consumer table hint (delegated elsewhere) -> default home,
+ *  - collect data replies and invalidation acks (Origin-style ack
+ *    collection at the requester),
+ *  - retry on NACKs with randomized backoff; drop stale consumer-table
+ *    hints on NackNotHome,
+ *  - respond to interventions (Inval / downgrade / transfer),
+ *  - victim-cache remote lines into the RAC and service read misses
+ *    from it; absorb speculative UPDATE pushes (Section 2.4.3).
+ */
+
+#ifndef PCSIM_PROTOCOL_CACHE_CONTROLLER_HH
+#define PCSIM_PROTOCOL_CACHE_CONTROLLER_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "src/cache/cache_array.hh"
+#include "src/cache/l1_cache.hh"
+#include "src/cache/line_state.hh"
+#include "src/cache/mshr.hh"
+#include "src/net/message.hh"
+#include "src/protocol/config.hh"
+#include "src/sim/random.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+class Hub;
+
+/** An L2 line: MESI state plus the data-version abstraction. */
+struct L2Entry
+{
+    LineState state = LineState::Invalid;
+    Version version = 0;
+};
+
+/** Completion callback: delivers the line version that was read or
+ *  produced (the data abstraction; see DESIGN.md). */
+using AccessCallback = std::function<void(Version)>;
+
+/** The processor-side controller. */
+class CacheController
+{
+  public:
+    CacheController(Hub &hub, Rng rng);
+
+    /** CPU access entry point (called via Hub::cpuAccess). */
+    void access(bool is_write, Addr addr, AccessCallback done);
+
+    /** @name Network-message entry points (dispatched by the Hub). */
+    /// @{
+    void handleResponse(const Message &msg);
+    void handleIntervention(const Message &msg);
+    void handleUpdate(const Message &msg);
+    void handleHomeHint(const Message &msg);
+    /// @}
+
+    /**
+     * Locally downgrade an M/E line to S (delayed or on-demand
+     * intervention issued by the ProducerController).
+     * @return the line's current version; if the line is no longer
+     *         present, returns @p fallback.
+     */
+    Version localDowngrade(Addr line, Version fallback);
+
+    /** Is a transaction outstanding for @p line? */
+    bool hasMshr(Addr line) { return _mshrs.find(line) != nullptr; }
+
+    /** Transaction id of the outstanding MSHR (0 if none). */
+    std::uint64_t
+    mshrTxnId(Addr line)
+    {
+        Mshr *m = _mshrs.find(line);
+        return m ? m->txnId : 0;
+    }
+
+    /** L2 state probe (checker / ProducerController). */
+    LineState l2State(Addr line, Version &version) const;
+
+    /** Number of outstanding transactions (drain detection). */
+    std::size_t outstanding() { return _mshrs.size(); }
+
+  private:
+    void missPath(bool is_write, Addr addr, Addr line,
+                  AccessCallback done);
+    /** Pick the target (producer table / consumer hint / home) and
+     *  send the MSHR's request. */
+    void sendRequest(Mshr &m);
+    void retry(Addr line);
+    void maybeComplete(Mshr &m);
+    void complete(Mshr &m);
+
+    /** Fill @p line into the L2, evicting (writeback / victim-cache)
+     *  as needed. Returns the entry. */
+    L2Entry *l2Fill(Addr line, LineState state, Version version);
+    void evictVictim(Addr victim_line, L2Entry &victim);
+
+    /** Perform a store on a writable resident line. */
+    void performStore(Addr line, L2Entry &entry);
+
+    /** Record that @p line was invalidated at epoch @p version. */
+    void recordTombstone(Addr line, Version version);
+    /** Is a message carrying @p version for @p line stale? */
+    bool staleByTombstone(Addr line, Version version) const;
+
+    Hub &_hub;
+    const ProtocolConfig &_cfg;
+    L1Cache _l1;
+    CacheArray<L2Entry> _l2;
+    MshrTable _mshrs;
+    Rng _rng;
+
+    /**
+     * Recently-invalidated-lines buffer: a speculative UPDATE that was
+     * already in flight when its line was undelegated can arrive
+     * AFTER the next writer's invalidation (no point-to-point
+     * ordering between the two sources). Each Inval records the
+     * superseded epoch here; updates at or below it are dropped.
+     * Modeled as a small FIFO, as the hardware would build it.
+     */
+    std::unordered_map<Addr, Version> _tombstones;
+    std::deque<Addr> _tombstoneFifo;
+    static constexpr std::size_t tombstoneCapacity = 128;
+
+    std::uint64_t _nextTxnId = 0;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_PROTOCOL_CACHE_CONTROLLER_HH

@@ -1,0 +1,188 @@
+#include "src/protocol/checker.hh"
+
+#include "src/sim/logging.hh"
+
+namespace pcsim
+{
+
+Version
+CoherenceChecker::storePerformed(NodeId node, Addr line,
+                                 Version copy_version)
+{
+    if (!_enabled)
+        return _authority.bump(line);
+
+    ++_numChecks;
+    const Version cur = _authority.current(line);
+    if (copy_version != cur) {
+        panic("lost update: node %u stores to 0x%llx from version %u "
+              "but current is %u",
+              node, (unsigned long long)line, copy_version, cur);
+    }
+
+    // Single-writer: no other node may hold any readable copy at the
+    // instant a store performs (all invalidation acks collected).
+    for (std::size_t n = 0; n < _nodes.size(); ++n) {
+        if (n == node)
+            continue;
+        Version v;
+        LineState s = _nodes[n]->l2State(line, v);
+        if (s != LineState::Invalid) {
+            panic("single-writer violated: node %u stores to 0x%llx "
+                  "while node %zu holds %s",
+                  node, (unsigned long long)line, n, lineStateName(s));
+        }
+        bool pinned;
+        if (_nodes[n]->racCopy(line, v, pinned)) {
+            panic("single-writer violated: node %u stores to 0x%llx "
+                  "while node %zu holds a RAC copy (pinned=%d)",
+                  node, (unsigned long long)line, n, pinned);
+        }
+    }
+
+    const Version nv = _authority.bump(line);
+    _lastSeen[key(node, line)] = nv;
+    return nv;
+}
+
+void
+CoherenceChecker::loadPerformed(NodeId node, Addr line, Version version)
+{
+    if (!_enabled)
+        return;
+
+    ++_numChecks;
+    const Version cur = _authority.current(line);
+    if (version > cur) {
+        panic("load from the future: node %u read 0x%llx version %u, "
+              "current %u",
+              node, (unsigned long long)line, version, cur);
+    }
+    auto &seen = _lastSeen[key(node, line)];
+    if (version < seen) {
+        panic("non-monotonic read: node %u read 0x%llx version %u "
+              "after having seen %u",
+              node, (unsigned long long)line, version, seen);
+    }
+    seen = version;
+}
+
+void
+CoherenceChecker::checkLineQuiescent(Addr line, Version cur,
+                                     NodeId home) const
+{
+    ++_numChecks;
+
+    unsigned owners = 0;
+    NodeId ownerNode = invalidNode;
+    std::uint32_t holderMask = 0;
+
+    for (std::size_t n = 0; n < _nodes.size(); ++n) {
+        Version v;
+        LineState s = _nodes[n]->l2State(line, v);
+        bool holds = false;
+        if (s == LineState::Modified || s == LineState::Exclusive) {
+            ++owners;
+            ownerNode = static_cast<NodeId>(n);
+            holds = true;
+            if (v != cur) {
+                panic("quiescent: owner node %zu of 0x%llx has version "
+                      "%u, current %u",
+                      n, (unsigned long long)line, v, cur);
+            }
+        } else if (s == LineState::Shared) {
+            holds = true;
+            if (v != cur) {
+                panic("quiescent: sharer node %zu of 0x%llx has "
+                      "version %u, current %u",
+                      n, (unsigned long long)line, v, cur);
+            }
+        }
+
+        bool pinned;
+        if (_nodes[n]->racCopy(line, v, pinned)) {
+            holds = true;
+            // A pinned copy shadowed by the local M/E processor copy
+            // may be one epoch behind; any other RAC copy must be
+            // current.
+            const bool shadowed =
+                pinned && (s == LineState::Modified ||
+                           s == LineState::Exclusive);
+            if (!shadowed && v != cur) {
+                panic("quiescent: RAC copy at node %zu of 0x%llx has "
+                      "version %u, current %u",
+                      n, (unsigned long long)line, v, cur);
+            }
+        }
+        if (holds)
+            holderMask |= 1u << n;
+    }
+
+    if (owners > 1)
+        panic("quiescent: %u owners of 0x%llx", owners,
+              (unsigned long long)line);
+    if (owners == 1) {
+        const std::uint32_t others =
+            holderMask & ~(1u << ownerNode);
+        if (others) {
+            panic("quiescent: owner %u of 0x%llx coexists with "
+                  "holders 0x%x",
+                  ownerNode, (unsigned long long)line, others);
+        }
+    }
+
+    // Directory consistency at the home (or its delegate).
+    DirEntry dir = _nodes[home]->homeDirEntry(line);
+    if (dir.busy())
+        panic("quiescent: home of 0x%llx is busy",
+              (unsigned long long)line);
+
+    if (dir.state == DirState::Dele) {
+        const ProducerEntry *pe =
+            _nodes[dir.owner]->producerEntry(line);
+        if (!pe) {
+            panic("quiescent: 0x%llx delegated to %u but no producer "
+                  "entry",
+                  (unsigned long long)line, dir.owner);
+        }
+        dir = pe->dir; // check the delegated directory below
+    } else if (dir.state == DirState::Shared ||
+               dir.state == DirState::Unowned) {
+        if (dir.memVersion != cur) {
+            panic("quiescent: memory copy of 0x%llx is version %u, "
+                  "current %u (state %s)",
+                  (unsigned long long)line, dir.memVersion, cur,
+                  dirStateName(dir.state));
+        }
+    }
+
+    switch (dir.state) {
+      case DirState::Unowned:
+        if (holderMask)
+            panic("quiescent: 0x%llx Unowned but held by 0x%x",
+                  (unsigned long long)line, holderMask);
+        break;
+      case DirState::Shared:
+        if (holderMask & ~dir.sharers) {
+            panic("quiescent: 0x%llx holders 0x%x not covered by "
+                  "sharers 0x%x",
+                  (unsigned long long)line, holderMask, dir.sharers);
+        }
+        if (owners)
+            panic("quiescent: 0x%llx Shared but node %u owns it",
+                  (unsigned long long)line, ownerNode);
+        break;
+      case DirState::Excl:
+        if (owners != 1 || ownerNode != dir.owner) {
+            panic("quiescent: 0x%llx Excl at %u but owner is %s%u",
+                  (unsigned long long)line, dir.owner,
+                  owners ? "" : "nobody ", ownerNode);
+        }
+        break;
+      default:
+        panic("quiescent: 0x%llx in unexpected dir state %s",
+              (unsigned long long)line, dirStateName(dir.state));
+    }
+}
+
+} // namespace pcsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Protocol / node configuration knobs (Table 1 defaults).
+ */
+
+#ifndef PCSIM_PROTOCOL_CONFIG_HH
+#define PCSIM_PROTOCOL_CONFIG_HH
+
+#include <cstdint>
+
+#include "src/cache/l1_cache.hh"
+#include "src/core/delegate_cache.hh"
+#include "src/core/pc_detector.hh"
+#include "src/core/rac.hh"
+#include "src/mem/dram.hh"
+#include "src/mem/directory.hh"
+#include "src/net/network.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/** Everything a node and its controllers need to know. */
+struct ProtocolConfig
+{
+    unsigned numNodes = 16;
+    std::uint32_t lineBytes = 128; ///< coherence granularity (L2 line)
+
+    // Processor-side hierarchy (Table 1).
+    L1Config l1;
+    std::size_t l2SizeBytes = 2 * 1024 * 1024;
+    std::size_t l2Ways = 4;
+    /** Exact L2 set count override (0 = derive from size); lets
+     *  Figure 8 model a 1.04 MB L2 with a non-power-of-two set
+     *  count. */
+    std::size_t l2SetsOverride = 0;
+    Tick l2HitLatency = 10;
+
+    // Hub timing.
+    Tick hubLatency = 8;  ///< directory/hub processing per message
+    Tick busLatency = 20; ///< processor <-> hub transfer
+
+    // Memory.
+    DramConfig dram;
+    DirectoryCacheConfig dirCache;
+
+    // NACK retry behaviour.
+    Tick retryBase = 64;
+    Tick retryJitter = 64;
+    std::uint32_t maxRetries = 100000; ///< forward-progress guard
+
+    // MSHRs (Table 1: max 16 outstanding L2 misses).
+    std::size_t mshrs = 16;
+
+    // --- HPCA'07 mechanisms -------------------------------------
+    bool racEnabled = false;
+    RacConfig rac;
+
+    bool delegationEnabled = false;
+    DelegateCacheConfig delegate;
+
+    bool updatesEnabled = false;
+    /** Delayed intervention interval (Section 2.4.1; Figure 9 sweeps
+     *  5 .. 500M; maxTick = "infinite" = never intervene). */
+    Tick interventionDelay = 50;
+
+    PcDetectorConfig detector;
+
+    /** Run the coherence/SC invariant checker (Section 2.5). */
+    bool checkerEnabled = true;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_PROTOCOL_CONFIG_HH

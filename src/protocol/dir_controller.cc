@@ -1,0 +1,550 @@
+#include "src/protocol/dir_controller.hh"
+
+#include <algorithm>
+
+#include "src/protocol/hub.hh"
+#include "src/sim/logging.hh"
+
+namespace pcsim
+{
+
+DirController::DirController(Hub &hub, Rng rng)
+    : _hub(hub),
+      _cfg(hub.cfg()),
+      _dirCache(_cfg.dirCache, _store, rng.fork()),
+      _dram(_cfg.dram),
+      _rng(rng.fork())
+{
+}
+
+DirEntry
+DirController::dirEntry(Addr line) const
+{
+    // Merged view: directory cache wins over the backing store.
+    if (DirCacheEntry *e =
+            const_cast<DirectoryCache &>(_dirCache).peek(line))
+        return e->dir;
+    if (const DirEntry *s = _store.find(line))
+        return *s;
+    return DirEntry{};
+}
+
+DirCacheEntry *
+DirController::access(Addr line, Tick &ready)
+{
+    const Tick now = _hub.curTick();
+    ready = now + _cfg.hubLatency;
+    bool was_miss = false;
+    DirCacheEntry *e = _dirCache.access(line, was_miss);
+    if (was_miss) {
+        ++_hub.stats().dirCacheMisses;
+        ++_dirCache.misses;
+        // Fetch the entry from the in-memory directory.
+        ready = std::max(ready, _dram.access(now));
+    } else {
+        ++_hub.stats().dirCacheHits;
+        ++_dirCache.hits;
+    }
+    return e;
+}
+
+Tick
+DirController::withMemData(Tick ready)
+{
+    // Data fetch proceeds in parallel with the directory lookup.
+    return std::max(ready, _dram.access(_hub.curTick()));
+}
+
+void
+DirController::sendNack(const Message &msg, Tick ready)
+{
+    ++_hub.stats().nacksSent;
+    Message nack;
+    nack.type = MsgType::Nack;
+    nack.addr = msg.addr;
+    nack.dst = msg.requester;
+    nack.txnId = msg.txnId;
+    _hub.eventQueue().schedule(ready, [this, nack]() {
+        _hub.send(nack);
+    });
+}
+
+void
+DirController::handleRequest(const Message &msg)
+{
+    ++_hub.stats().homeRequests;
+
+    Tick ready;
+    DirCacheEntry *e = access(msg.addr, ready);
+    if (!e) {
+        // Directory cache set wedged with busy entries.
+        sendNack(msg, ready);
+        return;
+    }
+
+    if (msg.type == MsgType::ReqShared)
+        handleRead(msg, *e, ready);
+    else
+        handleWrite(msg, *e, ready);
+}
+
+void
+DirController::handleRead(const Message &msg, DirCacheEntry &e,
+                          Tick ready)
+{
+    const NodeId req = msg.requester;
+    DirEntry &d = e.dir;
+
+    if (d.state != DirState::Dele)
+        e.detector.onRead(req, _cfg.detector);
+
+    switch (d.state) {
+      case DirState::Unowned:
+      case DirState::Shared: {
+        d.state = DirState::Shared;
+        d.addSharer(req);
+        Message resp;
+        resp.type = MsgType::RespSharedData;
+        resp.addr = msg.addr;
+        resp.dst = req;
+        resp.version = d.memVersion;
+        resp.txnId = msg.txnId;
+        const Tick when = withMemData(ready);
+        _hub.eventQueue().schedule(when, [this, resp]() {
+            _hub.send(resp);
+        });
+        break;
+      }
+
+      case DirState::Excl: {
+        if (d.owner == req) {
+            // Transient: our view and the owner's disagree (should be
+            // prevented by point-to-point ordering); retry.
+            sendNack(msg, ready);
+            break;
+        }
+        d.pendingReq = req;
+        d.pendingType = MsgType::ReqShared;
+        d.pendingOwner = d.owner;
+        d.pendingTxnId = msg.txnId;
+        d.state = DirState::BusyRead;
+        ++_hub.stats().interventionsSent;
+        Message iv;
+        iv.type = MsgType::IntervDowngrade;
+        iv.addr = msg.addr;
+        iv.dst = d.pendingOwner;
+        iv.requester = req;
+        iv.txnId = msg.txnId;
+        _hub.eventQueue().schedule(ready, [this, iv]() {
+            _hub.send(iv);
+        });
+        break;
+      }
+
+      case DirState::BusyRead:
+      case DirState::BusyExcl:
+        sendNack(msg, ready);
+        break;
+
+      case DirState::Dele:
+        forwardToDelegate(msg, e, ready);
+        break;
+    }
+}
+
+void
+DirController::handleWrite(const Message &msg, DirCacheEntry &e,
+                           Tick ready)
+{
+    const NodeId req = msg.requester;
+    DirEntry &d = e.dir;
+
+    bool detected = false;
+    if (d.state != DirState::Dele)
+        detected = e.detector.onWrite(req, _cfg.detector);
+
+    // Delegation trigger (Section 2.3.1): a stable producer writing a
+    // line whose data is at the home. When the producer IS the home
+    // (common under first-touch placement) the entry is
+    // self-delegated: requests were already 2-hop, but the delayed
+    // intervention + speculative update machinery still converts the
+    // consumers' 2-hop misses into local misses.
+    if (_cfg.delegationEnabled && detected &&
+        e.detector.producer() == req &&
+        (d.state == DirState::Shared || d.state == DirState::Unowned)) {
+        delegate(msg.addr, req, e, ready, msg.txnId);
+        return;
+    }
+
+    switch (d.state) {
+      case DirState::Unowned: {
+        d.state = DirState::Excl;
+        d.owner = req;
+        d.sharers = 0;
+        Message resp;
+        resp.type = MsgType::RespExclData;
+        resp.addr = msg.addr;
+        resp.dst = req;
+        resp.version = d.memVersion;
+        resp.ackCount = 0;
+        resp.txnId = msg.txnId;
+        const Tick when = withMemData(ready);
+        _hub.eventQueue().schedule(when, [this, resp]() {
+            _hub.send(resp);
+        });
+        break;
+      }
+
+      case DirState::Shared: {
+        const bool is_upgrade =
+            msg.type == MsgType::ReqUpgrade && d.isSharer(req);
+        // Table 3 instrumentation: consumers per producer-consumer
+        // write = sharers being invalidated (excluding the writer).
+        if (e.detector.isProducerConsumer(_cfg.detector)) {
+            const std::uint32_t others =
+                d.sharers & ~DirEntry::bit(req);
+            _hub.sampleConsumers(msg.addr, __builtin_popcount(others));
+        }
+        // Invalidate every other sharer; acks go to the requester.
+        std::uint16_t acks = 0;
+        for (NodeId n = 0; n < _cfg.numNodes; ++n) {
+            if (n == req || !d.isSharer(n))
+                continue;
+            ++acks;
+            ++_hub.stats().interventionsSent;
+            Message iv;
+            iv.type = MsgType::Inval;
+            iv.addr = msg.addr;
+            iv.dst = n;
+            iv.requester = req;
+            iv.txnId = msg.txnId;
+            // Carry the superseded epoch so late speculative updates
+            // for older epochs can be recognized and dropped.
+            iv.version = d.memVersion;
+            _hub.eventQueue().schedule(ready, [this, iv]() {
+                _hub.send(iv);
+            });
+        }
+        d.state = DirState::Excl;
+        d.owner = req;
+        d.sharers = 0;
+
+        Message resp;
+        resp.addr = msg.addr;
+        resp.dst = req;
+        resp.ackCount = acks;
+        resp.txnId = msg.txnId;
+        Tick when = ready;
+        if (is_upgrade) {
+            resp.type = MsgType::RespUpgradeAck;
+        } else {
+            resp.type = MsgType::RespExclData;
+            resp.version = d.memVersion;
+            when = withMemData(ready);
+        }
+        _hub.eventQueue().schedule(when, [this, resp]() {
+            _hub.send(resp);
+        });
+        break;
+      }
+
+      case DirState::Excl: {
+        if (d.owner == req) {
+            sendNack(msg, ready);
+            break;
+        }
+        d.pendingReq = req;
+        d.pendingType = msg.type;
+        d.pendingOwner = d.owner;
+        d.pendingTxnId = msg.txnId;
+        d.state = DirState::BusyExcl;
+        ++_hub.stats().interventionsSent;
+        Message iv;
+        iv.type = MsgType::IntervTransfer;
+        iv.addr = msg.addr;
+        iv.dst = d.pendingOwner;
+        iv.requester = req;
+        iv.txnId = msg.txnId;
+        _hub.eventQueue().schedule(ready, [this, iv]() {
+            _hub.send(iv);
+        });
+        break;
+      }
+
+      case DirState::BusyRead:
+      case DirState::BusyExcl:
+        sendNack(msg, ready);
+        break;
+
+      case DirState::Dele:
+        forwardToDelegate(msg, e, ready);
+        break;
+    }
+}
+
+void
+DirController::delegate(Addr line, NodeId producer, DirCacheEntry &e,
+                        Tick ready, std::uint64_t txn_id)
+{
+    DirEntry &d = e.dir;
+    ++_hub.stats().delegationsGranted;
+
+    Message del;
+    del.type = MsgType::Delegate;
+    del.addr = line;
+    del.dst = producer;
+    del.requester = producer;
+    del.txnId = txn_id;
+    del.version = d.memVersion; // Shared/Unowned: memory is current
+    del.sharers = d.sharers;
+    del.owner = producer;
+
+    d.state = DirState::Dele;
+    d.owner = producer;
+    d.sharers = 0;
+    // The detector bits are repurposed while the entry is delegated;
+    // after an undelegation the pattern must re-saturate before the
+    // line is delegated again, which throttles conflict churn when
+    // the producer-consumer working set exceeds the producer table.
+    e.detector.reset();
+
+    const Tick when = withMemData(ready);
+    _hub.eventQueue().schedule(when, [this, del]() {
+        _hub.send(del);
+    });
+}
+
+void
+DirController::forwardToDelegate(const Message &msg, DirCacheEntry &e,
+                                 Tick ready)
+{
+    DirEntry &d = e.dir;
+    const NodeId producer = d.owner;
+
+    if (msg.requester == producer) {
+        // The producer raced its own delegation handoff (Section
+        // 2.3.4): NACK; on retry it will find itself the acting home.
+        sendNack(msg, ready);
+        return;
+    }
+
+    ++_hub.stats().forwardedRequests;
+
+    Message fwd = msg;
+    fwd.dst = producer;
+
+    Message hint;
+    hint.type = MsgType::HomeHint;
+    hint.addr = msg.addr;
+    hint.dst = msg.requester;
+    hint.hintHome = producer;
+
+    _hub.eventQueue().schedule(ready, [this, fwd, hint]() {
+        _hub.send(fwd);
+        _hub.send(hint);
+    });
+}
+
+void
+DirController::handleWriteback(const Message &msg)
+{
+    Tick ready;
+    DirCacheEntry *e = access(msg.addr, ready);
+    if (!e) {
+        // Cannot NACK a writeback (it carries the only copy); retry
+        // the handling locally until a directory-cache way frees up.
+        Message again = msg;
+        _hub.eventQueue().scheduleIn(_cfg.retryBase, [this, again]() {
+            handleWriteback(again);
+        });
+        return;
+    }
+    DirEntry &d = e->dir;
+    const NodeId src = msg.requester;
+
+    Message ack;
+    ack.type = MsgType::WritebackAck;
+    ack.addr = msg.addr;
+    ack.dst = src;
+
+    switch (d.state) {
+      case DirState::Excl:
+        if (d.owner != src)
+            panic("writeback from %u but owner is %u", src, d.owner);
+        d.memVersion = msg.version;
+        d.state = DirState::Unowned;
+        d.owner = invalidNode;
+        d.sharers = 0;
+        break;
+
+      case DirState::BusyRead:
+      case DirState::BusyExcl: {
+        if (d.pendingOwner != src)
+            panic("writeback race from non-owner %u", src);
+        // The owner wrote back before our intervention reached it.
+        // Absorb the data but STAY BUSY until the intervention's
+        // NACK returns: the line stays unreachable meanwhile, so the
+        // roaming intervention can never find a re-acquired copy.
+        d.memVersion = msg.version;
+        d.pendingWb = true;
+        break;
+      }
+
+      default:
+        panic("writeback in dir state %s", dirStateName(d.state));
+    }
+
+    _hub.eventQueue().schedule(ready, [this, ack]() {
+        _hub.send(ack);
+    });
+}
+
+void
+DirController::handleSharedWriteback(const Message &msg)
+{
+    Tick ready;
+    DirCacheEntry *e = access(msg.addr, ready);
+    if (!e)
+        panic("SHWB with wedged directory set");
+    DirEntry &d = e->dir;
+    if (d.state != DirState::BusyRead)
+        panic("SHWB in dir state %s", dirStateName(d.state));
+
+    d.memVersion = msg.version;
+    d.state = DirState::Shared;
+    d.sharers = DirEntry::bit(d.pendingOwner) |
+                DirEntry::bit(d.pendingReq);
+    d.owner = invalidNode;
+    d.pendingReq = invalidNode;
+    d.pendingOwner = invalidNode;
+}
+
+void
+DirController::handleTransferAck(const Message &msg)
+{
+    Tick ready;
+    DirCacheEntry *e = access(msg.addr, ready);
+    if (!e)
+        panic("TransferAck with wedged directory set");
+    DirEntry &d = e->dir;
+    if (d.state != DirState::BusyExcl)
+        panic("TransferAck in dir state %s", dirStateName(d.state));
+
+    d.state = DirState::Excl;
+    d.owner = d.pendingReq;
+    d.sharers = 0;
+    // Memory stays stale: the data moved owner-to-owner.
+    d.pendingReq = invalidNode;
+    d.pendingOwner = invalidNode;
+}
+
+void
+DirController::handleIntervNack(const Message &msg)
+{
+    Tick ready;
+    DirCacheEntry *e = access(msg.addr, ready);
+    if (!e || !e->dir.busy())
+        return; // stale (episode already resolved)
+    DirEntry &d = e->dir;
+    if (d.pendingOwner != msg.src)
+        return;
+
+    if (d.pendingWb) {
+        // Writeback race: the data arrived while we waited for this
+        // NACK; satisfy the pending requester straight from memory.
+        Message resp;
+        resp.addr = msg.addr;
+        resp.dst = d.pendingReq;
+        resp.version = d.memVersion;
+        resp.txnId = d.pendingTxnId;
+        if (d.state == DirState::BusyRead) {
+            resp.type = MsgType::RespSharedData;
+            d.state = DirState::Shared;
+            d.sharers = DirEntry::bit(d.pendingReq);
+            d.owner = invalidNode;
+        } else {
+            resp.type = MsgType::RespExclData;
+            resp.ackCount = 0;
+            d.state = DirState::Excl;
+            d.owner = d.pendingReq;
+            d.sharers = 0;
+        }
+        d.pendingWb = false;
+        d.pendingReq = invalidNode;
+        d.pendingOwner = invalidNode;
+        _hub.eventQueue().schedule(ready, [this, resp]() {
+            _hub.send(resp);
+        });
+        return;
+    }
+
+    // The intervention target's own exclusive grant had not completed
+    // yet (its fill or invalidation acks were still in flight). The
+    // owner recorded at the home is still correct; NACK the waiting
+    // requester so it retries once the owner's transaction settles
+    // (Section 2.3.4's NACK-and-retry discipline).
+    Message nack;
+    nack.type = MsgType::Nack;
+    nack.addr = msg.addr;
+    nack.dst = d.pendingReq;
+    nack.txnId = d.pendingTxnId;
+    ++_hub.stats().nacksSent;
+
+    d.state = DirState::Excl;
+    d.owner = d.pendingOwner;
+    d.sharers = 0;
+    d.pendingReq = invalidNode;
+    d.pendingOwner = invalidNode;
+
+    _hub.eventQueue().schedule(ready, [this, nack]() {
+        _hub.send(nack);
+    });
+}
+
+void
+DirController::handleUndele(const Message &msg)
+{
+    Tick ready;
+    DirCacheEntry *e = access(msg.addr, ready);
+    if (!e) {
+        Message again = msg;
+        _hub.eventQueue().scheduleIn(_cfg.retryBase, [this, again]() {
+            handleUndele(again);
+        });
+        return;
+    }
+    DirEntry &d = e->dir;
+    if (d.state != DirState::Dele)
+        panic("Undele in dir state %s", dirStateName(d.state));
+
+    // Restore the directory from the delegate's snapshot.
+    d.memVersion = msg.version;
+    if (msg.owner != invalidNode) {
+        d.state = DirState::Excl;
+        d.owner = msg.owner;
+        d.sharers = 0;
+    } else if (msg.sharers) {
+        d.state = DirState::Shared;
+        d.sharers = msg.sharers;
+        d.owner = invalidNode;
+    } else {
+        d.state = DirState::Unowned;
+        d.sharers = 0;
+        d.owner = invalidNode;
+    }
+
+    // Service the exclusive request that forced the undelegation.
+    if (msg.pendingReq != invalidNode) {
+        Message req;
+        req.type = msg.pendingType;
+        req.addr = msg.addr;
+        req.dst = _hub.id();
+        req.requester = msg.pendingReq;
+        req.txnId = msg.txnId;
+        _hub.eventQueue().schedule(ready, [this, req]() {
+            handleRequest(req);
+        });
+    }
+}
+
+} // namespace pcsim

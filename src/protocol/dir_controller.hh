@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Home-side directory controller.
+ *
+ * Implements the base SGI-Origin-style write-invalidate protocol:
+ *  - 2-hop reads/writes when the home has the data,
+ *  - 3-hop interventions when a third node owns the line,
+ *  - invalidation fan-out with ack collection at the requester,
+ *  - BUSY transient states resolved by NACK-and-retry (Section 2.3.4),
+ *  - writeback races resolved via point-to-point message ordering.
+ *
+ * Plus the HPCA'07 home-side delegation duties:
+ *  - the producer-consumer detector lives in the directory cache,
+ *  - on detection, ownership of the directory entry is delegated to
+ *    the producer (DELE state, DELEGATE message),
+ *  - while DELE, requests are forwarded to the delegate and the
+ *    requester is told the acting home (HomeHint),
+ *  - UNDELE restores normal operation and services any pending
+ *    exclusive request that triggered the undelegation.
+ */
+
+#ifndef PCSIM_PROTOCOL_DIR_CONTROLLER_HH
+#define PCSIM_PROTOCOL_DIR_CONTROLLER_HH
+
+#include "src/mem/directory.hh"
+#include "src/mem/dram.hh"
+#include "src/net/message.hh"
+#include "src/protocol/config.hh"
+#include "src/sim/random.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+class Hub;
+
+/** The home-node directory engine. */
+class DirController
+{
+  public:
+    DirController(Hub &hub, Rng rng);
+
+    /** ReqShared / ReqExcl / ReqUpgrade for a line homed here. */
+    void handleRequest(const Message &msg);
+    void handleWriteback(const Message &msg);
+    void handleSharedWriteback(const Message &msg);
+    void handleTransferAck(const Message &msg);
+    void handleIntervNack(const Message &msg);
+    void handleUndele(const Message &msg);
+
+    /** Merged directory view (cache over store) for the checker. */
+    DirEntry dirEntry(Addr line) const;
+
+    DirectoryStore &store() { return _store; }
+    DirectoryCache &dirCache() { return _dirCache; }
+    DramModel &dram() { return _dram; }
+
+  private:
+    /** Directory-cache access charging DRAM latency on miss.
+     *  @param[out] ready earliest tick a reply may leave. */
+    DirCacheEntry *access(Addr line, Tick &ready);
+
+    void handleRead(const Message &msg, DirCacheEntry &e, Tick ready);
+    void handleWrite(const Message &msg, DirCacheEntry &e, Tick ready);
+
+    /** Detected pattern: delegate the line to @p producer.
+     *  @param txn_id the triggering write's transaction id. */
+    void delegate(Addr line, NodeId producer, DirCacheEntry &e,
+                  Tick ready, std::uint64_t txn_id);
+    /** Forward a request to the delegate and hint the requester. */
+    void forwardToDelegate(const Message &msg, DirCacheEntry &e,
+                           Tick ready);
+
+    void sendNack(const Message &msg, Tick ready);
+    /** Charge a DRAM data access and combine with @p ready. */
+    Tick withMemData(Tick ready);
+
+    Hub &_hub;
+    const ProtocolConfig &_cfg;
+    DirectoryStore _store;
+    DirectoryCache _dirCache;
+    DramModel _dram;
+    Rng _rng;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_PROTOCOL_DIR_CONTROLLER_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The node "hub" (Figure 2): crossbar between the processor, local
+ * DRAM/directory, RAC, delegate cache and the network interface.
+ *
+ * The Hub owns the three protocol engines of a node:
+ *  - CacheController: the processor-side coherence agent (L1/L2,
+ *    MSHRs, NACK retries, RAC lookups, intervention handling),
+ *  - DirController: the home-side directory engine (base
+ *    write-invalidate protocol, delegation grant and forwarding),
+ *  - ProducerController: the delegated-home engine (producer table,
+ *    delayed interventions, speculative updates, undelegation).
+ *
+ * It dispatches incoming network messages to the right engine and
+ * implements the checker's view of the node.
+ */
+
+#ifndef PCSIM_PROTOCOL_HUB_HH
+#define PCSIM_PROTOCOL_HUB_HH
+
+#include <memory>
+
+#include "src/core/delegate_cache.hh"
+#include "src/core/rac.hh"
+#include "src/mem/memory_map.hh"
+#include "src/net/network.hh"
+#include "src/protocol/cache_controller.hh"
+#include "src/protocol/checker.hh"
+#include "src/protocol/config.hh"
+#include "src/protocol/dir_controller.hh"
+#include "src/protocol/node_stats.hh"
+#include "src/protocol/producer_controller.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/stats.hh"
+
+namespace pcsim
+{
+
+/** One node's hub. */
+class Hub : public SimObject,
+            public MessageHandler,
+            public CheckerNodeView
+{
+  public:
+    Hub(EventQueue &eq, Network &net, MemoryMap &mem_map,
+        CoherenceChecker &checker, const ProtocolConfig &cfg, NodeId id,
+        Rng rng);
+    ~Hub() override;
+
+    NodeId id() const { return _id; }
+    const ProtocolConfig &cfg() const { return _cfg; }
+    Network &network() { return _net; }
+    MemoryMap &memMap() { return _memMap; }
+    CoherenceChecker &checker() { return _checker; }
+    NodeStats &stats() { return _stats; }
+    const NodeStats &stats() const { return _stats; }
+
+    CacheController &cacheCtrl() { return *_cacheCtrl; }
+    DirController &dirCtrl() { return *_dirCtrl; }
+    ProducerController &prodCtrl() { return *_prodCtrl; }
+
+    /** Optional structures (null when the config disables them). */
+    Rac *rac() { return _rac.get(); }
+    DelegateCache *delegateCache() { return _delegate.get(); }
+
+    /** Table-3 instrumentation: consumers invalidated per write to a
+     *  producer-consumer line. Owned by the System; the barrier flag
+     *  region is excluded so the histogram reflects application data
+     *  like the paper's Table 3. */
+    void
+    setConsumerHist(Histogram *h, Addr exclude_base, Addr exclude_size)
+    {
+        _consumerHist = h;
+        _histExcludeBase = exclude_base;
+        _histExcludeSize = exclude_size;
+    }
+    void
+    sampleConsumers(Addr line, unsigned n)
+    {
+        if (!_consumerHist || n == 0)
+            return;
+        if (line >= _histExcludeBase &&
+            line < _histExcludeBase + _histExcludeSize)
+            return;
+        _consumerHist->sample(n);
+    }
+
+    /** CPU entry point: perform one load or store. The callback
+     *  receives the resulting line version. */
+    void cpuAccess(bool is_write, Addr addr, AccessCallback done);
+
+    /** Convenience sender: stamps src with this node's id. */
+    void send(Message msg);
+
+    /** Line-align an address at coherence granularity. */
+    Addr lineOf(Addr a) const { return a - (a % _cfg.lineBytes); }
+
+    /** Home node of @p line (first-touch assigns to this node). */
+    NodeId homeOf(Addr line) { return _memMap.homeOf(line, _id); }
+
+    // MessageHandler
+    void handleMessage(const Message &msg) override;
+
+    // CheckerNodeView
+    LineState l2State(Addr line, Version &version) const override;
+    bool racCopy(Addr line, Version &version,
+                 bool &pinned) const override;
+    const ProducerEntry *producerEntry(Addr line) const override;
+    DirEntry homeDirEntry(Addr line) const override;
+
+  private:
+    NodeId _id;
+    const ProtocolConfig &_cfg;
+    Network &_net;
+    MemoryMap &_memMap;
+    CoherenceChecker &_checker;
+    NodeStats _stats;
+
+    Histogram *_consumerHist = nullptr;
+    Addr _histExcludeBase = 0;
+    Addr _histExcludeSize = 0;
+    std::unique_ptr<Rac> _rac;
+    std::unique_ptr<DelegateCache> _delegate;
+    std::unique_ptr<CacheController> _cacheCtrl;
+    std::unique_ptr<DirController> _dirCtrl;
+    std::unique_ptr<ProducerController> _prodCtrl;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_PROTOCOL_HUB_HH

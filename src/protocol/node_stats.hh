@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-node statistics collected by the controllers.
+ */
+
+#ifndef PCSIM_PROTOCOL_NODE_STATS_HH
+#define PCSIM_PROTOCOL_NODE_STATS_HH
+
+#include <cstdint>
+
+namespace pcsim
+{
+
+/** Counters one node accumulates during a run. */
+struct NodeStats
+{
+    // CPU-visible accesses.
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+
+    // Misses classified by where they were served.
+    std::uint64_t localMisses = 0;  ///< local home / local RAC
+    std::uint64_t remoteMisses = 0; ///< needed the network
+    std::uint64_t racHits = 0;      ///< subset of localMisses
+
+    // Transaction shapes.
+    std::uint64_t twoHopMisses = 0;
+    std::uint64_t threeHopMisses = 0;
+
+    // Retry behaviour.
+    std::uint64_t nacksReceived = 0;
+    std::uint64_t retries = 0;
+
+    // Home-side activity.
+    std::uint64_t homeRequests = 0;
+    std::uint64_t nacksSent = 0;
+    std::uint64_t interventionsSent = 0;
+    std::uint64_t dirCacheHits = 0;
+    std::uint64_t dirCacheMisses = 0;
+
+    // Delegation (Section 2.3).
+    std::uint64_t delegationsGranted = 0;  ///< as home
+    std::uint64_t delegationsReceived = 0; ///< as producer
+    std::uint64_t undelegationsCapacity = 0;
+    std::uint64_t undelegationsFlush = 0;
+    std::uint64_t undelegationsConflict = 0;
+    std::uint64_t forwardedRequests = 0;
+    std::uint64_t delegatedLocalOps = 0;
+
+    // Speculative updates (Section 2.4).
+    std::uint64_t delayedInterventions = 0;
+    std::uint64_t updatesSent = 0;
+    std::uint64_t updatesReceived = 0;
+    std::uint64_t updatesConsumed = 0; ///< led to a local hit
+    std::uint64_t updatesDropped = 0;  ///< RAC set pinned-full
+    std::uint64_t extraWriteMisses = 0; ///< re-upgrade after early
+                                        ///< delayed intervention
+
+    // Writebacks.
+    std::uint64_t writebacks = 0;
+
+    void
+    reset()
+    {
+        *this = NodeStats{};
+    }
+
+    NodeStats &
+    operator+=(const NodeStats &o)
+    {
+        reads += o.reads;
+        writes += o.writes;
+        l1Hits += o.l1Hits;
+        l2Hits += o.l2Hits;
+        localMisses += o.localMisses;
+        remoteMisses += o.remoteMisses;
+        racHits += o.racHits;
+        twoHopMisses += o.twoHopMisses;
+        threeHopMisses += o.threeHopMisses;
+        nacksReceived += o.nacksReceived;
+        retries += o.retries;
+        homeRequests += o.homeRequests;
+        nacksSent += o.nacksSent;
+        interventionsSent += o.interventionsSent;
+        dirCacheHits += o.dirCacheHits;
+        dirCacheMisses += o.dirCacheMisses;
+        delegationsGranted += o.delegationsGranted;
+        delegationsReceived += o.delegationsReceived;
+        undelegationsCapacity += o.undelegationsCapacity;
+        undelegationsFlush += o.undelegationsFlush;
+        undelegationsConflict += o.undelegationsConflict;
+        forwardedRequests += o.forwardedRequests;
+        delegatedLocalOps += o.delegatedLocalOps;
+        delayedInterventions += o.delayedInterventions;
+        updatesSent += o.updatesSent;
+        updatesReceived += o.updatesReceived;
+        updatesConsumed += o.updatesConsumed;
+        updatesDropped += o.updatesDropped;
+        extraWriteMisses += o.extraWriteMisses;
+        writebacks += o.writebacks;
+        return *this;
+    }
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_PROTOCOL_NODE_STATS_HH

@@ -1,0 +1,429 @@
+#include "src/protocol/producer_controller.hh"
+
+#include "src/protocol/hub.hh"
+#include "src/sim/logging.hh"
+
+namespace pcsim
+{
+
+ProducerController::ProducerController(Hub &hub)
+    : _hub(hub), _cfg(hub.cfg())
+{
+}
+
+bool
+ProducerController::isDelegated(Addr line)
+{
+    DelegateCache *dc = _hub.delegateCache();
+    return dc && dc->producerFind(line) != nullptr;
+}
+
+const ProducerEntry *
+ProducerController::entryFor(Addr line) const
+{
+    DelegateCache *dc = const_cast<Hub &>(_hub).delegateCache();
+    return dc ? dc->producerFind(line) : nullptr;
+}
+
+std::size_t
+ProducerController::numDelegated()
+{
+    DelegateCache *dc = _hub.delegateCache();
+    return dc ? dc->producer().occupancy() : 0;
+}
+
+void
+ProducerController::handleDelegate(const Message &msg)
+{
+    const Addr line = msg.addr;
+    DelegateCache *dc = _hub.delegateCache();
+    Rac *rac = _hub.rac();
+
+    // Allocate the producer-table entry; a conflict undelegates the
+    // victim first (undelegation reason 1).
+    ProducerEntry *e = dc->producer().allocate(
+        line,
+        [this](Addr victim, const ProducerEntry &) {
+            // Never displace a line with local work in flight.
+            return !_hub.cacheCtrl().hasMshr(victim);
+        },
+        [this](Addr victim, ProducerEntry &v) {
+            ++_hub.stats().undelegationsCapacity;
+            undelegate(victim, v, UndeleReason::Capacity);
+        });
+
+    // If we must hand the delegation back, the home can satisfy our
+    // pending write as a full exclusive fetch.
+    const MsgType pending_type = MsgType::ReqExcl;
+
+    if (!e) {
+        // Cannot host the delegation: hand it straight back and let
+        // the home service our pending write normally.
+        Message und;
+        und.type = MsgType::Undele;
+        und.addr = line;
+        und.dst = _hub.homeOf(line);
+        und.version = msg.version;
+        und.sharers = msg.sharers;
+        und.owner = invalidNode;
+        und.pendingReq = _hub.id();
+        und.pendingType = pending_type;
+        und.txnId = _hub.cacheCtrl().mshrTxnId(line);
+        _hub.send(und);
+        return;
+    }
+
+    e->dir.state = DirState::Shared;
+    e->dir.sharers = msg.sharers;
+    e->dir.owner = invalidNode;
+    e->dir.memVersion = msg.version;
+
+    // Pin the surrogate-memory copy in the RAC. When the producer is
+    // the home itself (self-delegation under first-touch placement)
+    // the local DRAM already holds the data and no pin is needed.
+    const bool self_home = _hub.homeOf(line) == _hub.id();
+    if (!self_home) {
+        RacEntry *re = rac->insertPinned(line, msg.version,
+                                         [this](Addr victim) {
+                                             undelegateForRacPressure(
+                                                 victim);
+                                         });
+        if (!re) {
+            ++_hub.stats().undelegationsFlush;
+            undelegate(line, *e, UndeleReason::Refused, _hub.id(),
+                       pending_type);
+            return;
+        }
+    }
+
+    ++_hub.stats().delegationsReceived;
+    PCSIM_DPRINTF(DebugDelegate, _hub.curTick(),
+                  "node %u: delegated 0x%llx (sharers=0x%x)", _hub.id(),
+                  (unsigned long long)line, msg.sharers);
+
+    // The delegation was triggered by our own pending write: serve it
+    // now as the acting home (Figure 4a step 8: "convert delegate msg
+    // into an exclusive reply").
+    if (_hub.cacheCtrl().hasMshr(line)) {
+        Message local;
+        local.type = MsgType::ReqExcl;
+        local.addr = line;
+        local.requester = _hub.id();
+        local.txnId = _hub.cacheCtrl().mshrTxnId(line);
+        serveLocalWrite(local, *e);
+    }
+}
+
+void
+ProducerController::handleRequest(const Message &msg)
+{
+    const Addr line = msg.addr;
+    DelegateCache *dc = _hub.delegateCache();
+    ProducerEntry *e = dc->producerFind(line);
+    if (!e)
+        panic("producer request without entry");
+
+    const bool local = msg.requester == _hub.id();
+
+    if (!local && _hub.cacheCtrl().hasMshr(line)) {
+        // Our own transaction on this line is mid-flight; anything
+        // remote must wait (NACK + retry) until it settles.
+        ++_hub.stats().nacksSent;
+        Message nack;
+        nack.type = MsgType::Nack;
+        nack.addr = line;
+        nack.dst = msg.requester;
+        nack.txnId = msg.txnId;
+        _hub.send(nack);
+        return;
+    }
+
+    switch (msg.type) {
+      case MsgType::ReqShared:
+        // Local reads reach here only for self-delegated lines (no
+        // pinned RAC copy exists); the reply path is identical.
+        serveRemoteRead(msg, *e);
+        break;
+
+      case MsgType::ReqExcl:
+      case MsgType::ReqUpgrade:
+        if (local) {
+            serveLocalWrite(msg, *e);
+        } else {
+            // Undelegation reason 3: another node wants to write.
+            ++_hub.stats().undelegationsConflict;
+            undelegate(line, *e, UndeleReason::Conflict, msg.requester,
+                       msg.type, msg.txnId);
+        }
+        break;
+
+      default:
+        panic("producer got %s", msg.toString().c_str());
+    }
+}
+
+void
+ProducerController::serveLocalWrite(const Message &msg, ProducerEntry &e)
+{
+    const Addr line = msg.addr;
+    if (e.dir.state != DirState::Shared)
+        panic("local write to delegated 0x%llx in state %s",
+              (unsigned long long)line, dirStateName(e.dir.state));
+
+    ++_hub.stats().delegatedLocalOps;
+
+    // Extra write miss: the previous delayed intervention cut a write
+    // burst short (Section 3.3.1's "5-cycle" effect). A re-upgrade
+    // shortly after the downgrade means the burst was still going.
+    constexpr Tick burstWindow = 200;
+    auto ld = _lastDowngrade.find(line);
+    if (ld != _lastDowngrade.end() &&
+        _hub.curTick() - ld->second < burstWindow) {
+        ++_hub.stats().extraWriteMisses;
+    }
+
+    // Invalidate every consumer copy; acks flow to our own MSHR.
+    std::uint16_t acks = 0;
+    const std::uint32_t targets =
+        e.dir.sharers & ~DirEntry::bit(_hub.id());
+    _hub.sampleConsumers(line, __builtin_popcount(targets));
+    for (NodeId n = 0; n < _cfg.numNodes; ++n) {
+        if (!(targets & DirEntry::bit(n)))
+            continue;
+        ++acks;
+        ++_hub.stats().interventionsSent;
+        Message iv;
+        iv.type = MsgType::Inval;
+        iv.addr = line;
+        iv.dst = n;
+        iv.requester = _hub.id();
+        iv.txnId = msg.txnId;
+        iv.version = e.dir.memVersion; // superseded epoch (see below)
+        _hub.send(iv);
+    }
+
+    // EXCL with the old sharing vector retained (Section 2.4.2): the
+    // vector is the speculative-update target set; owner is the
+    // added ownerID field.
+    e.dir.state = DirState::Excl;
+    e.dir.owner = _hub.id();
+
+    Message grant;
+    grant.type = MsgType::RespExclData;
+    grant.addr = line;
+    grant.dst = _hub.id();
+    grant.version = e.dir.memVersion;
+    grant.ackCount = acks;
+    grant.txnId = msg.txnId;
+    _hub.send(grant); // hub-internal, localLatency
+}
+
+void
+ProducerController::serveRemoteRead(const Message &msg, ProducerEntry &e)
+{
+    const Addr line = msg.addr;
+    const NodeId req = msg.requester;
+
+    if (e.dir.state == DirState::Excl) {
+        if (_cfg.updatesEnabled && e.intervPending &&
+            e.pendingNacks == 0) {
+            // The push is imminent; by the time the requester retries
+            // it will normally find the update in its RAC ("the
+            // update message is treated as the response"). A retry
+            // that still finds the epoch open (long delay intervals)
+            // falls through to an on-demand downgrade instead of
+            // stalling for the whole interval.
+            ++e.pendingNacks;
+            ++_hub.stats().nacksSent;
+            Message nack;
+            nack.type = MsgType::Nack;
+            nack.addr = line;
+            nack.dst = req;
+            nack.txnId = msg.txnId;
+            _hub.send(nack);
+            return;
+        }
+        // Delegation-only (or infinite delay): downgrade on demand.
+        // This is the 2-hop miss that delegation buys.
+        const Version v =
+            _hub.cacheCtrl().localDowngrade(line, e.dir.memVersion);
+        completeEpoch(line, e, v);
+    }
+
+    e.dir.sharers |= DirEntry::bit(req);
+    Message resp;
+    resp.type = MsgType::RespSharedData;
+    resp.addr = line;
+    resp.dst = req;
+    resp.version = e.dir.memVersion;
+    resp.txnId = msg.txnId;
+    _hub.eventQueue().scheduleIn(_cfg.hubLatency, [this, resp]() {
+        _hub.send(resp);
+    });
+}
+
+void
+ProducerController::onLocalWriteComplete(Addr line)
+{
+    DelegateCache *dc = _hub.delegateCache();
+    ProducerEntry *e = dc ? dc->producerFind(line) : nullptr;
+    if (!e)
+        return;
+    ++e->epochs;
+    e->pendingNacks = 0;
+
+    if (!_cfg.updatesEnabled || e->intervPending)
+        return;
+    if (_cfg.interventionDelay == maxTick)
+        return; // "infinite" delay: never intervene (Figure 9)
+
+    e->intervPending = true;
+    const std::uint64_t token = _nextToken++;
+    _timerTokens[line] = token;
+    ++_hub.stats().delayedInterventions;
+    _hub.eventQueue().scheduleIn(_cfg.interventionDelay,
+                                 [this, line, token]() {
+                                     fireDelayedIntervention(line, token);
+                                 });
+}
+
+void
+ProducerController::fireDelayedIntervention(Addr line,
+                                            std::uint64_t token)
+{
+    auto it = _timerTokens.find(line);
+    if (it == _timerTokens.end() || it->second != token)
+        return; // undelegated or re-armed since
+
+    DelegateCache *dc = _hub.delegateCache();
+    ProducerEntry *e = dc->producerFind(line);
+    if (!e || !e->intervPending)
+        return;
+    e->intervPending = false;
+
+    if (e->dir.state != DirState::Excl)
+        return; // a flush already closed the epoch
+
+    // Downgrade the processor copy (bus intervention) and capture the
+    // freshly written data.
+    const Version v =
+        _hub.cacheCtrl().localDowngrade(line, e->dir.memVersion);
+    completeEpoch(line, *e, v);
+}
+
+void
+ProducerController::completeEpoch(Addr line, ProducerEntry &e,
+                                  Version version)
+{
+    Rac *rac = _hub.rac();
+    rac->updatePinned(line, version);
+    e.dir.memVersion = version;
+    e.intervPending = false;
+    e.pendingNacks = 0;
+    _timerTokens.erase(line);
+    _lastDowngrade[line] = _hub.curTick();
+
+    const std::uint32_t update_set =
+        e.dir.sharers & ~DirEntry::bit(_hub.id());
+    e.dir.state = DirState::Shared;
+    e.dir.sharers = update_set | DirEntry::bit(_hub.id());
+    e.dir.owner = invalidNode;
+
+    if (!_cfg.updatesEnabled || _cfg.interventionDelay == maxTick)
+        return; // "infinite" delay (Figure 9): no speculative pushes
+
+    // Push the new data to the predicted consumers (Section 2.4.2:
+    // the nodes that consumed the last version).
+    for (NodeId n = 0; n < _cfg.numNodes; ++n) {
+        if (!(update_set & DirEntry::bit(n)))
+            continue;
+        ++_hub.stats().updatesSent;
+        Message up;
+        up.type = MsgType::Update;
+        up.addr = line;
+        up.dst = n;
+        up.version = version;
+        _hub.eventQueue().scheduleIn(_cfg.busLatency, [this, up]() {
+            _hub.send(up);
+        });
+    }
+}
+
+void
+ProducerController::onLocalFlush(Addr line, Version version)
+{
+    DelegateCache *dc = _hub.delegateCache();
+    ProducerEntry *e = dc ? dc->producerFind(line) : nullptr;
+    if (!e)
+        panic("flush hook without producer entry");
+
+    if (e->dir.state == DirState::Excl) {
+        // The eviction acts as an early intervention: the write burst
+        // is over, absorb the data and push.
+        completeEpoch(line, *e, version);
+    } else {
+        _hub.rac()->updatePinned(line, version);
+        e->dir.memVersion = version;
+    }
+}
+
+void
+ProducerController::undelegateForRacPressure(Addr line)
+{
+    DelegateCache *dc = _hub.delegateCache();
+    ProducerEntry *e = dc ? dc->producerFind(line) : nullptr;
+    if (!e)
+        return;
+    if (_hub.cacheCtrl().hasMshr(line))
+        return; // unsafe now; the insertPinned caller copes
+    ++_hub.stats().undelegationsFlush;
+    undelegate(line, *e, UndeleReason::Flush);
+}
+
+void
+ProducerController::undelegate(Addr line, ProducerEntry &e,
+                               UndeleReason reason, NodeId pending_req,
+                               MsgType pending_type,
+                               std::uint64_t pending_txn)
+{
+    DelegateCache *dc = _hub.delegateCache();
+    Rac *rac = _hub.rac();
+
+    // Cancel any pending delayed intervention.
+    e.intervPending = false;
+    _timerTokens.erase(line);
+
+    Message und;
+    und.type = MsgType::Undele;
+    und.addr = line;
+    und.dst = _hub.homeOf(line);
+    und.dirty = true;
+    und.pendingReq = pending_req;
+    und.pendingType = pending_type;
+    und.txnId = pending_txn;
+    und.version = e.dir.memVersion;
+
+    if (e.dir.state == DirState::Excl) {
+        // Our processor still holds the only (modified) copy; the RAC
+        // surrogate is stale and must go.
+        und.owner = _hub.id();
+        und.sharers = 0;
+        rac->unpin(line, /*keep_data=*/false);
+    } else {
+        und.owner = invalidNode;
+        // We keep a plain S copy in the RAC; make sure the restored
+        // directory covers us.
+        und.sharers = e.dir.sharers | DirEntry::bit(_hub.id());
+        rac->unpin(line, /*keep_data=*/true);
+    }
+
+    PCSIM_DPRINTF(DebugDelegate, _hub.curTick(),
+                  "node %u: undelegate 0x%llx reason=%d", _hub.id(),
+                  (unsigned long long)line, static_cast<int>(reason));
+
+    dc->producer().invalidate(line);
+    _lastDowngrade.erase(line);
+    _hub.send(und);
+}
+
+} // namespace pcsim

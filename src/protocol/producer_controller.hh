@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Delegated-home engine (Sections 2.3 and 2.4).
+ *
+ * Runs at the producer node for every line delegated to it:
+ *  - accepts DELEGATE messages, pins the surrogate-memory RAC entry
+ *    and services the pending local write,
+ *  - acts as the home for remote read requests (2-hop misses),
+ *  - undelegates on producer-table conflict (reason 1), pinned-RAC
+ *    pressure (reason 2) and remote exclusive requests (reason 3),
+ *  - implements the delayed intervention (Section 2.4.1): a fixed,
+ *    configurable interval after each write epoch completes, the
+ *    producer's processor copy is downgraded, the data lands in the
+ *    local RAC, and speculative UPDATEs are pushed to the previous
+ *    sharing vector (Section 2.4.2) -- the nodes most likely to
+ *    consume the new data.
+ */
+
+#ifndef PCSIM_PROTOCOL_PRODUCER_CONTROLLER_HH
+#define PCSIM_PROTOCOL_PRODUCER_CONTROLLER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/core/delegate_cache.hh"
+#include "src/net/message.hh"
+#include "src/protocol/config.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+class Hub;
+
+/** Reasons a delegation ends (Section 2.3.3). */
+enum class UndeleReason
+{
+    Capacity, ///< producer table conflict
+    Flush,    ///< pinned RAC entry displaced
+    Conflict, ///< another node requested an exclusive copy
+    Refused,  ///< delegation could not be accepted at all
+};
+
+/** The producer-side delegated-home engine. */
+class ProducerController
+{
+  public:
+    ProducerController(Hub &hub);
+
+    /** Is @p line currently delegated to this node? */
+    bool isDelegated(Addr line);
+    const ProducerEntry *entryFor(Addr line) const;
+
+    /** DELEGATE from the home node. */
+    void handleDelegate(const Message &msg);
+
+    /** Request (local or remote) for a line in the producer table. */
+    void handleRequest(const Message &msg);
+
+    /** The local CPU's write transaction on a delegated line finished
+     *  (all acks collected): start the delayed-intervention timer. */
+    void onLocalWriteComplete(Addr line);
+
+    /** The local L2 evicted a delegated line: absorb the data into
+     *  the pinned RAC entry and close the write epoch. */
+    void onLocalFlush(Addr line, Version version);
+
+    /** RAC set pressure forces a pinned entry out (reason 2). */
+    void undelegateForRacPressure(Addr line);
+
+    std::size_t numDelegated();
+
+  private:
+    void serveLocalWrite(const Message &msg, ProducerEntry &e);
+    void serveRemoteRead(const Message &msg, ProducerEntry &e);
+    void fireDelayedIntervention(Addr line, std::uint64_t token);
+    /** Downgrade/absorb the epoch's data and push updates. */
+    void completeEpoch(Addr line, ProducerEntry &e, Version version);
+    void undelegate(Addr line, ProducerEntry &e, UndeleReason reason,
+                    NodeId pending_req = invalidNode,
+                    MsgType pending_type = MsgType::ReqExcl,
+                    std::uint64_t pending_txn = 0);
+
+    Hub &_hub;
+    const ProtocolConfig &_cfg;
+    /** Timer-validity tokens (re-delegation invalidates old timers). */
+    std::unordered_map<Addr, std::uint64_t> _timerTokens;
+    std::uint64_t _nextToken = 1;
+    /** Last downgrade tick per line, for the extra-write-miss stat. */
+    std::unordered_map<Addr, Tick> _lastDowngrade;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_PROTOCOL_PRODUCER_CONTROLLER_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Discrete event simulation kernel.
+ *
+ * The EventQueue is a priority queue of (tick, sequence) ordered
+ * callbacks. Sequence numbers break ties deterministically in schedule
+ * order, so a simulation run is fully reproducible for a given seed.
+ */
+
+#ifndef PCSIM_SIM_EVENT_QUEUE_HH
+#define PCSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/logging.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/** Callback type executed when an event fires. */
+using EventCallback = std::function<void()>;
+
+/**
+ * The central simulation event queue.
+ *
+ * Components schedule closures at absolute or relative ticks; run()
+ * drains the queue in (tick, sequence) order until it is empty, a
+ * stop condition triggers, or a tick limit is reached.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /** Schedule @p cb at absolute tick @p when (must be >= curTick). */
+    void
+    schedule(Tick when, EventCallback cb)
+    {
+        if (when < _curTick)
+            panic("scheduling event in the past (%llu < %llu)",
+                  (unsigned long long)when, (unsigned long long)_curTick);
+        _events.push(PendingEvent{when, _nextSeq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, EventCallback cb)
+    {
+        schedule(_curTick + delta, std::move(cb));
+    }
+
+    /** Number of events not yet executed. */
+    std::size_t numPending() const { return _events.size(); }
+
+    /** True if nothing remains to execute. */
+    bool empty() const { return _events.empty(); }
+
+    /** Request that run() stop before executing the next event. */
+    void requestStop() { _stopRequested = true; }
+
+    /**
+     * Drain the queue.
+     *
+     * @param limit stop (without executing further events) once the
+     *              next event's tick exceeds this value.
+     * @return number of events executed.
+     */
+    std::uint64_t
+    run(Tick limit = maxTick)
+    {
+        std::uint64_t executed = 0;
+        _stopRequested = false;
+        while (!_events.empty() && !_stopRequested) {
+            const PendingEvent &top = _events.top();
+            if (top.when > limit)
+                break;
+            _curTick = top.when;
+            EventCallback cb = std::move(top.cb);
+            _events.pop();
+            cb();
+            ++executed;
+        }
+        return executed;
+    }
+
+    /** Execute at most one event; returns false if queue was empty. */
+    bool
+    step()
+    {
+        if (_events.empty())
+            return false;
+        const PendingEvent &top = _events.top();
+        _curTick = top.when;
+        EventCallback cb = std::move(top.cb);
+        _events.pop();
+        cb();
+        return true;
+    }
+
+    /** Reset time and drop all pending events (for reuse in tests). */
+    void
+    reset()
+    {
+        _curTick = 0;
+        _nextSeq = 0;
+        _stopRequested = false;
+        while (!_events.empty())
+            _events.pop();
+    }
+
+  private:
+    struct PendingEvent
+    {
+        Tick when;
+        std::uint64_t seq;
+        mutable EventCallback cb;
+
+        bool
+        operator>(const PendingEvent &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<PendingEvent, std::vector<PendingEvent>,
+                        std::greater<>>
+        _events;
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+    bool _stopRequested = false;
+};
+
+/**
+ * Base class for simulation components. Provides access to the owning
+ * event queue and a component name used in trace output.
+ */
+class SimObject
+{
+  public:
+    SimObject(EventQueue &eq, std::string name)
+        : _eq(eq), _name(std::move(name))
+    {}
+    virtual ~SimObject() = default;
+
+    EventQueue &eventQueue() const { return _eq; }
+    Tick curTick() const { return _eq.curTick(); }
+    const std::string &name() const { return _name; }
+
+  protected:
+    EventQueue &_eq;
+    std::string _name;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_SIM_EVENT_QUEUE_HH

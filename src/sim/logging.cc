@@ -1,0 +1,75 @@
+#include "src/sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pcsim
+{
+
+std::uint32_t debugFlags = DebugNone;
+
+namespace
+{
+
+void
+vreport(const char *prefix, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", prefix);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+debugPrintf(std::uint32_t flag, std::uint64_t when, const char *fmt, ...)
+{
+    if (!(debugFlags & flag))
+        return;
+    std::fprintf(stderr, "%10llu: ", (unsigned long long)when);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace pcsim

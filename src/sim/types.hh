@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout pcsim.
+ */
+
+#ifndef PCSIM_SIM_TYPES_HH
+#define PCSIM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace pcsim
+{
+
+/** Simulated time, measured in processor clock cycles (2 GHz core). */
+using Tick = std::uint64_t;
+
+/** A physical byte address in the simulated global address space. */
+using Addr = std::uint64_t;
+
+/** Identifier of a node (processor + hub pair). 16 nodes by default. */
+using NodeId = std::uint16_t;
+
+/** Per-line write-epoch version number used in place of byte data. */
+using Version = std::uint32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
+
+/** Sentinel for "never" / unscheduled. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Sentinel for "no address". */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+} // namespace pcsim
+
+#endif // PCSIM_SIM_TYPES_HH

@@ -1,0 +1,65 @@
+#include "src/system/presets.hh"
+
+namespace pcsim
+{
+namespace presets
+{
+
+MachineConfig
+base(unsigned num_nodes)
+{
+    MachineConfig m;
+    m.proto.numNodes = num_nodes;
+    return m;
+}
+
+MachineConfig
+racOnly(std::size_t rac_bytes, unsigned num_nodes)
+{
+    MachineConfig m = base(num_nodes);
+    m.proto.racEnabled = true;
+    m.proto.rac.sizeBytes = rac_bytes;
+    return m;
+}
+
+MachineConfig
+delegateUpdate(std::size_t delegate_entries, std::size_t rac_bytes,
+               unsigned num_nodes)
+{
+    MachineConfig m = racOnly(rac_bytes, num_nodes);
+    m.proto.delegationEnabled = true;
+    m.proto.updatesEnabled = true;
+    m.proto.delegate.producerEntries = delegate_entries;
+    m.proto.delegate.consumerEntries = delegate_entries;
+    return m;
+}
+
+MachineConfig
+delegationOnly(std::size_t delegate_entries, std::size_t rac_bytes,
+               unsigned num_nodes)
+{
+    MachineConfig m = delegateUpdate(delegate_entries, rac_bytes,
+                                     num_nodes);
+    m.proto.updatesEnabled = false;
+    return m;
+}
+
+std::vector<NamedConfig>
+figure7Configs(unsigned num_nodes)
+{
+    return {
+        {"Base", base(num_nodes)},
+        {"32K RAC", racOnly(32 * 1024, num_nodes)},
+        {"32-entry deledc & 32K RAC",
+         delegateUpdate(32, 32 * 1024, num_nodes)},
+        {"1K-entry deledc & 1M RAC",
+         delegateUpdate(1024, 1024 * 1024, num_nodes)},
+        {"1K-entry deledc & 32K RAC",
+         delegateUpdate(1024, 32 * 1024, num_nodes)},
+        {"32-entry deledc & 1M RAC",
+         delegateUpdate(32, 1024 * 1024, num_nodes)},
+    };
+}
+
+} // namespace presets
+} // namespace pcsim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine configuration presets matching the paper's evaluated
+ * systems (Table 1 plus the Figure 7 / Figure 8 variants).
+ */
+
+#ifndef PCSIM_SYSTEM_PRESETS_HH
+#define PCSIM_SYSTEM_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "src/system/system.hh"
+
+namespace pcsim
+{
+namespace presets
+{
+
+/** Table 1 baseline: 16 nodes, 2 MB L2, no RAC / delegation. */
+MachineConfig base(unsigned num_nodes = 16);
+
+/** Baseline plus a RAC (victim cache only), Figure 7 "32K RAC". */
+MachineConfig racOnly(std::size_t rac_bytes = 32 * 1024,
+                      unsigned num_nodes = 16);
+
+/**
+ * Full mechanism: delegation + speculative updates.
+ * Figure 7 evaluates {32, 1024} delegate entries x {32K, 1M} RAC.
+ */
+MachineConfig delegateUpdate(std::size_t delegate_entries,
+                             std::size_t rac_bytes,
+                             unsigned num_nodes = 16);
+
+/** Delegation without speculative updates (Section 3.2: within 1% of
+ *  base for most applications). */
+MachineConfig delegationOnly(std::size_t delegate_entries = 32,
+                             std::size_t rac_bytes = 32 * 1024,
+                             unsigned num_nodes = 16);
+
+/** The small (32-entry deledc + 32K RAC) configuration. */
+inline MachineConfig
+small(unsigned num_nodes = 16)
+{
+    return delegateUpdate(32, 32 * 1024, num_nodes);
+}
+
+/** The large (1K-entry deledc + 1M RAC) configuration. */
+inline MachineConfig
+large(unsigned num_nodes = 16)
+{
+    return delegateUpdate(1024, 1024 * 1024, num_nodes);
+}
+
+/** A named configuration for sweep harnesses. */
+struct NamedConfig
+{
+    std::string name;
+    MachineConfig cfg;
+};
+
+/** The six systems of Figure 7, in the paper's order. */
+std::vector<NamedConfig> figure7Configs(unsigned num_nodes = 16);
+
+} // namespace presets
+} // namespace pcsim
+
+#endif // PCSIM_SYSTEM_PRESETS_HH

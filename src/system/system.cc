@@ -1,0 +1,113 @@
+#include "src/system/system.hh"
+
+#include "src/sim/logging.hh"
+
+namespace pcsim
+{
+
+System::System(const MachineConfig &cfg)
+    : _cfg(cfg),
+      _checker(cfg.proto.checkerEnabled),
+      _memMap(cfg.proto.numNodes, cfg.pageBytes),
+      _net(_eq, cfg.proto.numNodes, cfg.net)
+{
+    Rng root(cfg.seed);
+    std::vector<Hub *> hub_ptrs;
+    for (unsigned n = 0; n < cfg.proto.numNodes; ++n) {
+        _hubs.push_back(std::make_unique<Hub>(
+            _eq, _net, _memMap, _checker, _cfg.proto,
+            static_cast<NodeId>(n), root.fork()));
+        _hubs.back()->setConsumerHist(
+            &_consumerHist, cfg.barrierBase,
+            (cfg.proto.numNodes + 1) * cfg.proto.lineBytes);
+        hub_ptrs.push_back(_hubs.back().get());
+    }
+    _barrier = std::make_unique<BarrierDriver>(
+        _eq, hub_ptrs, cfg.barrierBase, cfg.proto.lineBytes,
+        cfg.barrierSpinDelay);
+}
+
+System::~System() = default;
+
+void
+System::resetStats()
+{
+    for (auto &hub : _hubs)
+        hub->stats().reset();
+    _net.resetStats();
+    _consumerHist.reset();
+    _statsResetTick = _eq.curTick();
+}
+
+RunResult
+System::run(Workload &workload, Tick max_ticks)
+{
+    if (workload.numCpus() != numNodes())
+        fatal("workload wants %u CPUs, machine has %u",
+              workload.numCpus(), numNodes());
+
+    workload.reset();
+    _cpus.clear();
+
+    unsigned running = numNodes();
+    Tick last_done = 0;
+    for (unsigned n = 0; n < numNodes(); ++n) {
+        _cpus.push_back(std::make_unique<Cpu>(_eq, *_hubs[n], workload,
+                                              *_barrier, n));
+        Cpu *c = _cpus.back().get();
+        c->setOnDone([this, &running, &last_done, c]() {
+            --running;
+            if (c->finishedAt() > last_done)
+                last_done = c->finishedAt();
+        });
+        c->start();
+    }
+
+    // Parallel-phase convention: barrier generation 1 ends init.
+    _barrier->setOnGeneration([this](std::uint64_t gen) {
+        if (gen == 1)
+            resetStats();
+    });
+
+    _eq.run(max_ticks);
+
+    if (running != 0)
+        fatal("simulation hit the tick limit with %u CPUs unfinished "
+              "(deadlock or limit too small)",
+              running);
+
+    // Drain any leftover protocol work (pending delayed interventions
+    // push updates after the CPUs finish) before the quiescent check.
+    _eq.run(maxTick);
+
+    if (_checker.enabled()) {
+        _checker.checkQuiescent(
+            [this](Addr line) { return _memMap.homeOf(line); });
+    }
+
+    RunResult r;
+    r.workload = workload.name();
+    r.cycles = last_done > _statsResetTick ? last_done - _statsResetTick
+                                           : last_done;
+    for (auto &hub : _hubs)
+        r.nodes += hub->stats();
+    r.netMessages = _net.numMessages();
+    r.netBytes = _net.numBytes();
+    r.nackMessages = _net.numByType(MsgType::Nack) +
+                     _net.numByType(MsgType::NackNotHome);
+    r.updateMessages = _net.numByType(MsgType::Update);
+    r.consumerHist = _consumerHist;
+    return r;
+}
+
+RunResult
+runWorkload(const MachineConfig &cfg, Workload &workload,
+            const std::string &config_name)
+{
+    System sys(cfg);
+    RunResult r = sys.run(workload);
+    r.config = config_name;
+    return r;
+}
+
+} // namespace pcsim

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Whole-machine assembly: N nodes (CPU + hub), interconnect, memory
+ * map, barrier driver and the invariant checker, plus run-level
+ * statistics gathering.
+ */
+
+#ifndef PCSIM_SYSTEM_SYSTEM_HH
+#define PCSIM_SYSTEM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cpu/barrier.hh"
+#include "src/cpu/cpu.hh"
+#include "src/mem/memory_map.hh"
+#include "src/net/network.hh"
+#include "src/protocol/checker.hh"
+#include "src/protocol/config.hh"
+#include "src/protocol/hub.hh"
+#include "src/sim/event_queue.hh"
+#include "src/sim/stats.hh"
+#include "src/workload/workload.hh"
+
+namespace pcsim
+{
+
+/** Complete machine configuration. */
+struct MachineConfig
+{
+    ProtocolConfig proto;
+    NetworkConfig net;
+    std::uint64_t seed = 1;
+    std::uint32_t pageBytes = 16 * 1024;
+    /** Base address of the barrier flag region (above workload data). */
+    Addr barrierBase = 0xB0000000ull;
+    Tick barrierSpinDelay = 30;
+};
+
+/** Aggregated results of one run (parallel phase only). */
+struct RunResult
+{
+    std::string workload;
+    std::string config;
+
+    Tick cycles = 0; ///< parallel-phase execution time
+
+    NodeStats nodes; ///< summed over all nodes
+
+    std::uint64_t netMessages = 0;
+    std::uint64_t netBytes = 0;
+    std::uint64_t nackMessages = 0;
+    std::uint64_t updateMessages = 0;
+
+    /** Consumers-per-write for producer-consumer lines (Table 3):
+     *  bucket i = writes that invalidated i consumer copies. */
+    Histogram consumerHist{17};
+
+    std::uint64_t totalMisses() const
+    {
+        return nodes.localMisses + nodes.remoteMisses;
+    }
+};
+
+/** A full simulated machine. */
+class System
+{
+  public:
+    explicit System(const MachineConfig &cfg);
+    ~System();
+
+    EventQueue &eventQueue() { return _eq; }
+    Network &network() { return _net; }
+    MemoryMap &memMap() { return _memMap; }
+    CoherenceChecker &checker() { return _checker; }
+    Hub &hub(unsigned i) { return *_hubs.at(i); }
+    unsigned numNodes() const
+    {
+        return static_cast<unsigned>(_hubs.size());
+    }
+    BarrierDriver &barrier() { return *_barrier; }
+    const MachineConfig &config() const { return _cfg; }
+
+    /**
+     * Execute @p workload to completion.
+     *
+     * Statistics are reset when barrier generation 1 completes (end of
+     * the initialization phase), so the result covers the parallel
+     * phase only. A final quiescent invariant check runs if the
+     * checker is enabled.
+     */
+    RunResult run(Workload &workload, Tick max_ticks = maxTick);
+
+    /** Zero all node and network statistics. */
+    void resetStats();
+
+  private:
+    MachineConfig _cfg;
+    EventQueue _eq;
+    CoherenceChecker _checker;
+    MemoryMap _memMap;
+    Network _net;
+    std::vector<std::unique_ptr<Hub>> _hubs;
+    std::unique_ptr<BarrierDriver> _barrier;
+    std::vector<std::unique_ptr<Cpu>> _cpus;
+    Histogram _consumerHist{17};
+    Tick _statsResetTick = 0;
+};
+
+/**
+ * Convenience: build a machine, run the workload, return the result.
+ * A fresh System is built per call so runs are independent.
+ */
+RunResult runWorkload(const MachineConfig &cfg, Workload &workload,
+                      const std::string &config_name = "");
+
+} // namespace pcsim
+
+#endif // PCSIM_SYSTEM_SYSTEM_HH

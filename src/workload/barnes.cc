@@ -1,0 +1,121 @@
+#include "src/workload/barnes.hh"
+
+#include <sstream>
+
+namespace pcsim
+{
+
+BarnesWorkload::BarnesWorkload(unsigned num_cpus, BarnesParams p)
+    : TraceWorkload("Barnes", num_cpus), _p(p)
+{
+    Rng rng(_p.seed);
+
+    // Assign each cell an owner and a fixed reader set whose size
+    // follows the octree's fan-out: cells near the root are read by
+    // everyone, deep cells by few (Table 3 Barnes distribution).
+    std::vector<unsigned> owner(_p.cellLines);
+    std::vector<std::vector<unsigned>> readers(_p.cellLines);
+    for (unsigned c = 0; c < _p.cellLines; ++c) {
+        owner[c] = static_cast<unsigned>(rng.below(num_cpus));
+        unsigned nreaders;
+        const double u = rng.uniform();
+        // Approximate octree depth distribution -> consumer counts:
+        // ~62% wide sharing, remainder tapering to single readers.
+        if (u < 0.62)
+            nreaders = 5 + static_cast<unsigned>(
+                               rng.below(num_cpus > 5 ? num_cpus - 5
+                                                      : 1));
+        else if (u < 0.70)
+            nreaders = 4;
+        else if (u < 0.79)
+            nreaders = 3;
+        else if (u < 0.86)
+            nreaders = 2;
+        else
+            nreaders = 1;
+        // Pick distinct readers != owner.
+        std::vector<bool> used(num_cpus, false);
+        used[owner[c]] = true;
+        while (readers[c].size() < nreaders &&
+               readers[c].size() + 1 < num_cpus) {
+            const unsigned r =
+                static_cast<unsigned>(rng.below(num_cpus));
+            if (!used[r]) {
+                used[r] = true;
+                readers[c].push_back(r);
+            }
+        }
+    }
+
+    // Init: owners first-touch their cells; every CPU its bodies.
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        auto &t = cpuTrace(cpu);
+        for (unsigned c = 0; c < _p.cellLines; ++c) {
+            if (owner[c] == cpu)
+                t.push_back(MemOp::write(cellLine(c)));
+        }
+        for (unsigned l = 0; l < _p.bodyLinesPerCpu; ++l)
+            t.push_back(MemOp::write(bodyLine(cpu, l)));
+        t.push_back(MemOp::barrier());
+    }
+
+    for (unsigned it = 0; it < _p.iterations; ++it) {
+        // Tree build: owners update their cells.
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto &t = cpuTrace(cpu);
+            for (unsigned c = 0; c < _p.cellLines; ++c) {
+                if (owner[c] != cpu)
+                    continue;
+                t.push_back(MemOp::think(_p.thinkPerCell));
+                t.push_back(MemOp::write(cellLine(c)));
+            }
+            t.push_back(MemOp::barrier());
+        }
+        // Force computation: traverse (read) the fixed cell subsets,
+        // update local bodies.
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto &t = cpuTrace(cpu);
+            for (unsigned c = 0; c < _p.cellLines; ++c) {
+                bool reads = false;
+                for (unsigned r : readers[c])
+                    reads |= (r == cpu);
+                if (!reads)
+                    continue;
+                t.push_back(MemOp::read(cellLine(c)));
+                t.push_back(MemOp::think(_p.thinkPerCell));
+            }
+            for (unsigned l = 0; l < _p.bodyLinesPerCpu; ++l) {
+                t.push_back(MemOp::read(bodyLine(cpu, l)));
+                t.push_back(MemOp::think(_p.thinkPerBody));
+                t.push_back(MemOp::write(bodyLine(cpu, l)));
+            }
+            t.push_back(MemOp::barrier());
+        }
+    }
+}
+
+Addr
+BarnesWorkload::cellLine(unsigned c) const
+{
+    return _p.base + static_cast<Addr>(c) * _p.lineBytes;
+}
+
+Addr
+BarnesWorkload::bodyLine(unsigned cpu, unsigned l) const
+{
+    const Addr region = _p.base + 0x2000000ull;
+    const Addr per_cpu = 0x10000ull; // page aligned
+    return region + cpu * per_cpu + static_cast<Addr>(l) * _p.lineBytes;
+}
+
+std::string
+BarnesWorkload::scaledProblemSize() const
+{
+    std::ostringstream os;
+    os << _p.cellLines << " cells, "
+       << _p.bodyLinesPerCpu * numCpus() * (_p.lineBytes / 8)
+       << " bodies, " << _p.iterations << " iterations";
+    return os.str();
+}
+
+} // namespace pcsim

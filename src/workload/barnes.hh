@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Barnes (SPLASH-2 Barnes-Hut) sharing-pattern workload.
+ *
+ * Hierarchical N-body simulation. Each iteration rebuilds the octree
+ * (cells written by their owning processor) and then computes forces
+ * (every processor traverses the tree, reading cells). Cells near the
+ * root are read by almost everyone; deeper cells by progressively
+ * fewer readers -- Table 3's heavy 4+-consumer distribution (61.7%).
+ * The reader set of each cell is fixed across iterations, giving the
+ * stable per-phase producer-consumer pattern the paper exploits.
+ *
+ * Paper problem size: 16384 bodies, seed 123.
+ */
+
+#ifndef PCSIM_WORKLOAD_BARNES_HH
+#define PCSIM_WORKLOAD_BARNES_HH
+
+#include <vector>
+
+#include "src/sim/random.hh"
+#include "src/workload/workload.hh"
+
+namespace pcsim
+{
+
+/** Barnes generator parameters. */
+struct BarnesParams
+{
+    unsigned cellLines = 768;  ///< octree cells (one line each)
+    unsigned bodyLinesPerCpu = 48;
+    unsigned iterations = 10;
+    unsigned thinkPerCell = 32;
+    unsigned thinkPerBody = 130;
+    std::uint64_t seed = 123; ///< the paper's seed
+    Addr base = 0x50000000ull;
+    std::uint32_t lineBytes = 128;
+};
+
+/** Build the Barnes trace. */
+class BarnesWorkload : public TraceWorkload
+{
+  public:
+    explicit BarnesWorkload(unsigned num_cpus, BarnesParams p = {});
+
+    std::string paperProblemSize() const override
+    {
+        return "16384 bodies, 123 seed";
+    }
+    std::string scaledProblemSize() const override;
+
+  private:
+    Addr cellLine(unsigned c) const;
+    Addr bodyLine(unsigned cpu, unsigned l) const;
+
+    BarnesParams _p;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_WORKLOAD_BARNES_HH

@@ -1,0 +1,109 @@
+#include "src/workload/cg.hh"
+
+#include <sstream>
+
+namespace pcsim
+{
+
+CgWorkload::CgWorkload(unsigned num_cpus, CgParams p)
+    : TraceWorkload("CG", num_cpus), _p(p)
+{
+    Rng rng(_p.seed);
+
+    const unsigned lines_per_cpu = _p.vectorLines / num_cpus;
+
+    // Fixed sparse structure: the p lines each CPU gathers during the
+    // matvec (uniform over the whole vector -> many consumers/line).
+    std::vector<std::vector<unsigned>> gathers(num_cpus);
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        for (unsigned i = 0; i < _p.readsPerCpu; ++i) {
+            gathers[cpu].push_back(
+                static_cast<unsigned>(rng.below(_p.vectorLines)));
+        }
+    }
+
+    // Init: CPU i first-touches its p segment and q block.
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        auto &t = cpuTrace(cpu);
+        for (unsigned l = 0; l < lines_per_cpu; ++l) {
+            t.push_back(MemOp::write(pLine(cpu * lines_per_cpu + l)));
+            t.push_back(MemOp::write(qLine(cpu, l)));
+        }
+        if (cpu == 0)
+            t.push_back(MemOp::write(reductionLine()));
+        t.push_back(MemOp::barrier());
+    }
+
+    for (unsigned it = 0; it < _p.iterations; ++it) {
+        // Phase 1: update p. Segment interiors are single-writer;
+        // the line straddling each segment boundary is written by
+        // BOTH neighbours -> false sharing the detector must reject.
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto &t = cpuTrace(cpu);
+            for (unsigned l = 0; l < lines_per_cpu; ++l) {
+                const unsigned line = cpu * lines_per_cpu + l;
+                t.push_back(MemOp::write(pLine(line)));
+            }
+            // False sharing: also touch the first line of the next
+            // segment (models elements spilling across the boundary).
+            if (cpu + 1 < num_cpus)
+                t.push_back(
+                    MemOp::write(pLine((cpu + 1) * lines_per_cpu)));
+            t.push_back(MemOp::barrier());
+        }
+
+        // Phase 2: sparse matvec q = A p. Gather remote p lines with
+        // heavy per-gather compute; scatter into the local q block.
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto &t = cpuTrace(cpu);
+            unsigned qi = 0;
+            for (unsigned line : gathers[cpu]) {
+                t.push_back(MemOp::read(pLine(line)));
+                t.push_back(MemOp::think(_p.thinkPerGather));
+                t.push_back(
+                    MemOp::write(qLine(cpu, qi++ % lines_per_cpu)));
+            }
+            // The bulk of the iteration is local computation.
+            t.push_back(MemOp::think(_p.localComputeCycles));
+            t.push_back(MemOp::barrier());
+        }
+
+        // Phase 3: dot-product reduction on a single migratory line.
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto &t = cpuTrace(cpu);
+            t.push_back(MemOp::read(reductionLine()));
+            t.push_back(MemOp::write(reductionLine()));
+            t.push_back(MemOp::barrier());
+        }
+    }
+}
+
+Addr
+CgWorkload::pLine(unsigned l) const
+{
+    return _p.base + static_cast<Addr>(l) * _p.lineBytes;
+}
+
+Addr
+CgWorkload::qLine(unsigned cpu, unsigned l) const
+{
+    const Addr region = _p.base + 0x2000000ull;
+    return region + (static_cast<Addr>(cpu) * 4096 + l) * _p.lineBytes;
+}
+
+Addr
+CgWorkload::reductionLine() const
+{
+    return _p.base + 0x3000000ull;
+}
+
+std::string
+CgWorkload::scaledProblemSize() const
+{
+    std::ostringstream os;
+    os << _p.vectorLines * (_p.lineBytes / 8) << " nodes, "
+       << _p.iterations << " iterations";
+    return os.str();
+}
+
+} // namespace pcsim

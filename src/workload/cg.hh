@@ -1,0 +1,70 @@
+/**
+ * @file
+ * CG (NAS Parallel Benchmarks) sharing-pattern workload.
+ *
+ * Conjugate-gradient eigenvalue estimation. Three properties limit
+ * the mechanisms' benefit here (Section 3.2) and are all modelled:
+ *  1. producer-consumer sharing only in some phases (the shared p
+ *     vector during the sparse matvec),
+ *  2. heavy false sharing in the sparse representation: segment
+ *     boundary lines are written by two CPUs, which the conservative
+ *     line-grained detector correctly rejects,
+ *  3. compute dominates (large think time), so removing remote misses
+ *     buys little.
+ * Each p-vector line is read by many row owners, so detected patterns
+ * are overwhelmingly 4+ consumers (Table 3: 99.7%).
+ *
+ * Paper problem size: 1400 nodes, 15 iterations.
+ */
+
+#ifndef PCSIM_WORKLOAD_CG_HH
+#define PCSIM_WORKLOAD_CG_HH
+
+#include <vector>
+
+#include "src/sim/random.hh"
+#include "src/workload/workload.hh"
+
+namespace pcsim
+{
+
+/** CG generator parameters. */
+struct CgParams
+{
+    unsigned vectorLines = 64;   ///< lines of the shared p vector
+    unsigned readsPerCpu = 40;   ///< matvec gathers per CPU per iter
+    unsigned iterations = 15;
+    unsigned thinkPerGather = 120;
+    /** Local compute per iteration (dot products, local matvec rows):
+     *  CG is compute-bound, so remote misses are a minor cost
+     *  (Section 3.2: "remote misses are not a major performance
+     *  bottleneck"). */
+    unsigned localComputeCycles = 170000;
+    std::uint64_t seed = 777;
+    Addr base = 0x28000000ull;
+    std::uint32_t lineBytes = 128;
+};
+
+/** Build the CG trace. */
+class CgWorkload : public TraceWorkload
+{
+  public:
+    explicit CgWorkload(unsigned num_cpus, CgParams p = {});
+
+    std::string paperProblemSize() const override
+    {
+        return "1400 nodes, 15 iterations";
+    }
+    std::string scaledProblemSize() const override;
+
+  private:
+    Addr pLine(unsigned l) const;
+    Addr qLine(unsigned cpu, unsigned l) const;
+    Addr reductionLine() const;
+
+    CgParams _p;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_WORKLOAD_CG_HH

@@ -1,0 +1,108 @@
+#include "src/workload/em3d.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pcsim
+{
+
+Em3dWorkload::Em3dWorkload(unsigned num_cpus, Em3dParams p)
+    : TraceWorkload("Em3D", num_cpus), _p(p)
+{
+    const unsigned vals_per_line = _p.lineBytes / 8;
+    _linesPerCpu = (_p.nodesPerCpu + vals_per_line - 1) / vals_per_line;
+
+    Rng rng(_p.seed);
+
+    // Build the dependency structure at line granularity: for each
+    // value line on each side, the set of lines it reads. 15% of
+    // dependencies reach a neighbour within +/- span.
+    // deps[side][cpu][line] -> vector<(cpu, line)> on the other side.
+    auto gen_deps = [&](bool side) {
+        std::vector<std::vector<std::vector<std::pair<unsigned,
+                                                      unsigned>>>>
+            deps(num_cpus);
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            deps[cpu].resize(_linesPerCpu);
+            for (unsigned l = 0; l < _linesPerCpu; ++l) {
+                auto &dv = deps[cpu][l];
+                for (unsigned d = 0; d < _p.degree; ++d) {
+                    unsigned target_cpu = cpu;
+                    if (rng.chance(_p.remoteFraction) && num_cpus > 1) {
+                        // Remote link: a neighbour within the span.
+                        const unsigned off =
+                            1 + static_cast<unsigned>(
+                                    rng.below(_p.span));
+                        target_cpu = (cpu + off) % num_cpus;
+                    }
+                    const unsigned tl = static_cast<unsigned>(
+                        rng.below(_linesPerCpu));
+                    dv.emplace_back(target_cpu, tl);
+                }
+                std::sort(dv.begin(), dv.end());
+                dv.erase(std::unique(dv.begin(), dv.end()), dv.end());
+            }
+        }
+        (void)side;
+        return deps;
+    };
+    const auto e_deps = gen_deps(false); // E reads H
+    const auto h_deps = gen_deps(true);  // H reads E
+
+    // Init: first-touch own E and H lines.
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        auto &t = cpuTrace(cpu);
+        for (unsigned l = 0; l < _linesPerCpu; ++l) {
+            t.push_back(MemOp::write(valueLine(false, cpu, l)));
+            t.push_back(MemOp::write(valueLine(true, cpu, l)));
+        }
+        t.push_back(MemOp::barrier());
+    }
+
+    // Iterations: E phase, barrier, H phase, barrier.
+    for (unsigned it = 0; it < _p.iterations; ++it) {
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto &t = cpuTrace(cpu);
+            for (unsigned l = 0; l < _linesPerCpu; ++l) {
+                for (const auto &[dc, dl] : e_deps[cpu][l])
+                    t.push_back(MemOp::read(valueLine(true, dc, dl)));
+                t.push_back(MemOp::think(_p.thinkPerLine));
+                t.push_back(MemOp::write(valueLine(false, cpu, l)));
+            }
+            t.push_back(MemOp::barrier());
+        }
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto &t = cpuTrace(cpu);
+            for (unsigned l = 0; l < _linesPerCpu; ++l) {
+                for (const auto &[dc, dl] : h_deps[cpu][l])
+                    t.push_back(MemOp::read(valueLine(false, dc, dl)));
+                t.push_back(MemOp::think(_p.thinkPerLine));
+                t.push_back(MemOp::write(valueLine(true, cpu, l)));
+            }
+            t.push_back(MemOp::barrier());
+        }
+    }
+}
+
+Addr
+Em3dWorkload::valueLine(bool h, unsigned cpu, unsigned l) const
+{
+    const Addr side = h ? 0x4000000ull : 0;
+    const Addr per_cpu =
+        static_cast<Addr>(_linesPerCpu) * _p.lineBytes;
+    // Pad each CPU's block to a page so first touch places it there.
+    const Addr stride = ((per_cpu + 0x3fff) / 0x4000) * 0x4000;
+    return _p.base + side + cpu * stride + l * _p.lineBytes;
+}
+
+std::string
+Em3dWorkload::scaledProblemSize() const
+{
+    std::ostringstream os;
+    os << _p.nodesPerCpu * numCpus() * 2 << " nodes, degree "
+       << _p.degree << ", " << _p.remoteFraction * 100 << "% remote, "
+       << _p.iterations << " iterations";
+    return os.str();
+}
+
+} // namespace pcsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Em3D (Split-C) sharing-pattern workload.
+ *
+ * Electromagnetic wave propagation on a bipartite graph of E and H
+ * nodes. Two knobs govern producer-consumer sharing (Section 3.2):
+ * "distribution span indicates how many consumers each producer will
+ * have while remote links controls the probability that the producer
+ * and consumer are on different nodes". The paper uses span 5 and 15%
+ * remote links. Every iteration updates all E nodes from their H
+ * dependencies, barriers, then all H nodes from E dependencies,
+ * barriers -- the two barriers per iteration are what produce the
+ * "reload flurry" this application is known for.
+ *
+ * Paper problem size: 38400 nodes, degree 5, 15% remote.
+ */
+
+#ifndef PCSIM_WORKLOAD_EM3D_HH
+#define PCSIM_WORKLOAD_EM3D_HH
+
+#include <vector>
+
+#include "src/sim/random.hh"
+#include "src/workload/workload.hh"
+
+namespace pcsim
+{
+
+/** Em3D generator parameters. */
+struct Em3dParams
+{
+    unsigned nodesPerCpu = 512; ///< E nodes (and H nodes) per CPU
+    unsigned degree = 5;
+    unsigned span = 5;          ///< remote deps fall on cpu +/- span
+    double remoteFraction = 0.15;
+    unsigned iterations = 20;
+    unsigned thinkPerLine = 90;
+    std::uint64_t seed = 12345;
+    Addr base = 0x20000000ull;
+    std::uint32_t lineBytes = 128;
+};
+
+/** Build the Em3D trace. */
+class Em3dWorkload : public TraceWorkload
+{
+  public:
+    explicit Em3dWorkload(unsigned num_cpus, Em3dParams p = {});
+
+    std::string paperProblemSize() const override
+    {
+        return "38400 nodes, degree 5, 15% remote";
+    }
+    std::string scaledProblemSize() const override;
+
+  private:
+    /** Line of value-line @p l of @p cpu on side @p h (0 = E, 1 = H). */
+    Addr valueLine(bool h, unsigned cpu, unsigned l) const;
+
+    Em3dParams _p;
+    unsigned _linesPerCpu;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_WORKLOAD_EM3D_HH

@@ -1,0 +1,138 @@
+#include "src/workload/mg.hh"
+
+#include <sstream>
+
+namespace pcsim
+{
+
+MgWorkload::MgWorkload(unsigned num_cpus, MgParams p)
+    : TraceWorkload("MG", num_cpus), _p(p)
+{
+    Rng rng(_p.seed);
+
+    // Fixed reader sets: reader_sets[level][cpu] = CPUs that consume
+    // cpu's boundary data at that level. Nearest neighbours at the
+    // finest grid, progressively wider as the grid coarsens (at the
+    // coarsest level everyone reads the handful of remaining lines).
+    std::vector<std::vector<std::vector<unsigned>>> reader_sets(
+        _p.levelDims.size());
+    for (unsigned lv = 0; lv < _p.levelDims.size(); ++lv) {
+        reader_sets[lv].resize(num_cpus);
+        const unsigned want = readersPerLine(lv);
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto &rs = reader_sets[lv][cpu];
+            // Deterministic neighbour choice: ring distance 1..want,
+            // which matches a blocked 3D decomposition's face/edge
+            // neighbour growth closely enough for sharing purposes.
+            for (unsigned k = 1; k <= want && k < num_cpus; ++k) {
+                unsigned r = (cpu + k) % num_cpus;
+                rs.push_back(r);
+            }
+            (void)rng;
+        }
+    }
+
+    // Init: the initialization loop's schedule differs from the
+    // compute loop's (allocatorOffset), so blocks are first-touched
+    // -- and therefore homed -- away from their eventual producer.
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        auto &t = cpuTrace(cpu);
+        const unsigned owner =
+            (cpu + num_cpus - _p.allocatorOffset % num_cpus) % num_cpus;
+        for (unsigned lv = 0; lv < _p.levelDims.size(); ++lv) {
+            for (unsigned l = 0; l < linesPerCpu(lv); ++l)
+                t.push_back(MemOp::write(boundaryLine(lv, owner, l)));
+        }
+        t.push_back(MemOp::barrier());
+    }
+
+    // V-cycles: restrict down the levels, then prolongate back up.
+    for (unsigned vc = 0; vc < _p.vCycles; ++vc) {
+        for (unsigned lv = 0; lv < _p.levelDims.size(); ++lv)
+            emitLevelVisit(lv, num_cpus, reader_sets[lv]);
+        for (unsigned lv = _p.levelDims.size(); lv-- > 1;)
+            emitLevelVisit(lv - 1, num_cpus, reader_sets[lv - 1]);
+    }
+}
+
+void
+MgWorkload::emitLevelVisit(
+    unsigned level, unsigned num_cpus,
+    const std::vector<std::vector<unsigned>> &readers)
+{
+    const unsigned lines = linesPerCpu(level);
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        auto &t = cpuTrace(cpu);
+        // Consume: read the boundary lines of every producer whose
+        // reader set includes us.
+        for (unsigned prod = 0; prod < num_cpus; ++prod) {
+            if (prod == cpu)
+                continue;
+            bool reads = false;
+            for (unsigned r : readers[prod])
+                reads |= (r == cpu);
+            if (!reads)
+                continue;
+            for (unsigned l = 0; l < lines; ++l)
+                t.push_back(MemOp::read(boundaryLine(level, prod, l)));
+        }
+        t.push_back(MemOp::think(_p.thinkPerLine * lines));
+        t.push_back(MemOp::barrier());
+    }
+    // Smooth: update own boundary (separated from the gathers so the
+    // per-line pattern stays W (R)+ W (R)+).
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        auto &t = cpuTrace(cpu);
+        for (unsigned l = 0; l < lines; ++l)
+            t.push_back(MemOp::write(boundaryLine(level, cpu, l)));
+        t.push_back(MemOp::barrier());
+    }
+}
+
+unsigned
+MgWorkload::linesPerCpu(unsigned level) const
+{
+    // Boundary surface of a 3D block shrinks with the level dimension:
+    // ~ (D/4)*(D/2) points per face * 8 B / line.
+    const unsigned d = _p.levelDims.at(level);
+    const unsigned face_points = (d / 4) * (d / 2);
+    const unsigned bytes = face_points * 8;
+    return std::max(1u, bytes / _p.lineBytes);
+}
+
+unsigned
+MgWorkload::readersPerLine(unsigned level) const
+{
+    // Even at the finest grid the 27-point stencil pulls face, edge
+    // and corner neighbours (Table 3: almost no single-consumer MG
+    // lines); coarser levels spread toward everyone.
+    const unsigned d = _p.levelDims.at(level);
+    if (d >= 80)
+        return 4;
+    if (d >= 40)
+        return 8;
+    if (d >= 20)
+        return 12;
+    return 15;
+}
+
+Addr
+MgWorkload::boundaryLine(unsigned level, unsigned cpu, unsigned l) const
+{
+    const Addr per_level = 0x1000000ull;
+    const Addr per_cpu = 0x10000ull; // 64 KB, page aligned
+    return _p.base + level * per_level + cpu * per_cpu +
+           static_cast<Addr>(l) * _p.lineBytes;
+}
+
+std::string
+MgWorkload::scaledProblemSize() const
+{
+    std::ostringstream os;
+    os << _p.levelDims.front() << "^3 finest grid, "
+       << _p.levelDims.size() << " levels, " << _p.vCycles
+       << " V-cycles";
+    return os.str();
+}
+
+} // namespace pcsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * MG (NAS Parallel Benchmarks) sharing-pattern workload.
+ *
+ * V-cycle multigrid Poisson solver. At the finest grid the boundary
+ * exchange is nearest-neighbour (one consumer per line); at coarser
+ * levels dependent data lands on different processors and single
+ * lines cover many grid points, so lines are consumed by many CPUs
+ * (Table 3: 91.6% of MG's patterns have 4+ consumers). The large
+ * number of distinct producer-consumer lines across all levels is
+ * what makes MG sensitive to the delegate cache size (Figure 11).
+ *
+ * Paper problem size: 32*32*32 nodes, 4 steps.
+ */
+
+#ifndef PCSIM_WORKLOAD_MG_HH
+#define PCSIM_WORKLOAD_MG_HH
+
+#include <vector>
+
+#include "src/sim/random.hh"
+#include "src/workload/workload.hh"
+
+namespace pcsim
+{
+
+/** MG generator parameters. */
+struct MgParams
+{
+    std::vector<unsigned> levelDims = {80, 40, 20, 10};
+    /** Init-loop schedule offset: the CPU that first-touches a block
+     *  differs from its producer (a real OpenMP-init artifact), so
+     *  producers are not the home nodes of their boundary data --
+     *  exactly the 3-hop pattern delegation attacks. */
+    unsigned allocatorOffset = 3;
+    unsigned vCycles = 4;
+    unsigned thinkPerLine = 55;
+    std::uint64_t seed = 4242;
+    Addr base = 0x30000000ull;
+    std::uint32_t lineBytes = 128;
+};
+
+/** Build the MG trace. */
+class MgWorkload : public TraceWorkload
+{
+  public:
+    explicit MgWorkload(unsigned num_cpus, MgParams p = {});
+
+    std::string paperProblemSize() const override
+    {
+        return "32*32*32 nodes, 4 steps";
+    }
+    std::string scaledProblemSize() const override;
+
+  private:
+    /** Boundary line @p l of @p cpu at @p level. */
+    Addr boundaryLine(unsigned level, unsigned cpu, unsigned l) const;
+
+    /** Distinct boundary lines each CPU owns at @p level. */
+    unsigned linesPerCpu(unsigned level) const;
+    /** How many neighbour CPUs read each boundary line at @p level
+     *  (grows as grids coarsen). */
+    unsigned readersPerLine(unsigned level) const;
+
+    void emitLevelVisit(unsigned level, unsigned num_cpus,
+                        const std::vector<std::vector<unsigned>> &readers);
+
+    MgParams _p;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_WORKLOAD_MG_HH

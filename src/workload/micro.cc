@@ -1,0 +1,115 @@
+#include "src/workload/micro.hh"
+
+namespace pcsim
+{
+
+ProducerConsumerMicro::ProducerConsumerMicro(unsigned num_cpus, Params p)
+    : TraceWorkload("PCmicro", num_cpus), _p(p)
+{
+    // Init: the designated home CPU first-touches the data.
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        auto &t = cpuTrace(cpu);
+        if (cpu == _p.homeCpu) {
+            for (unsigned l = 0; l < _p.lines; ++l)
+                t.push_back(MemOp::write(line(l)));
+        }
+        t.push_back(MemOp::barrier());
+    }
+
+    for (unsigned it = 0; it < _p.iterations; ++it) {
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto &t = cpuTrace(cpu);
+            if (cpu == _p.producer) {
+                for (unsigned l = 0; l < _p.lines; ++l) {
+                    t.push_back(MemOp::think(_p.thinkCycles));
+                    t.push_back(MemOp::write(line(l)));
+                }
+            }
+            t.push_back(MemOp::barrier());
+            // Consumers are the CPUs right after the producer.
+            const unsigned dist =
+                (cpu + num_cpus - _p.producer) % num_cpus;
+            if (dist >= 1 && dist <= _p.numConsumers) {
+                for (unsigned l = 0; l < _p.lines; ++l) {
+                    t.push_back(MemOp::read(line(l)));
+                    t.push_back(MemOp::think(_p.thinkCycles));
+                }
+            }
+            t.push_back(MemOp::barrier());
+        }
+    }
+}
+
+MigratoryMicro::MigratoryMicro(unsigned num_cpus, Params p)
+    : TraceWorkload("Migratory", num_cpus), _p(p)
+{
+    auto line = [&](unsigned l) {
+        return _p.base + static_cast<Addr>(l) * _p.lineBytes;
+    };
+
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        auto &t = cpuTrace(cpu);
+        if (cpu == 0) {
+            for (unsigned l = 0; l < _p.lines; ++l)
+                t.push_back(MemOp::write(line(l)));
+        }
+        t.push_back(MemOp::barrier());
+    }
+
+    // Token-passing: in iteration i, CPU (i % P) read-modify-writes
+    // every line; barriers serialize the hand-off.
+    for (unsigned it = 0; it < _p.iterations; ++it) {
+        const unsigned turn = it % num_cpus;
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto &t = cpuTrace(cpu);
+            if (cpu == turn) {
+                for (unsigned l = 0; l < _p.lines; ++l) {
+                    t.push_back(MemOp::read(line(l)));
+                    t.push_back(MemOp::think(_p.thinkCycles));
+                    t.push_back(MemOp::write(line(l)));
+                }
+            }
+            t.push_back(MemOp::barrier());
+        }
+    }
+}
+
+RandomMicro::RandomMicro(unsigned num_cpus, Params p)
+    : TraceWorkload("Random", num_cpus), _p(p)
+{
+    auto line = [&](unsigned l) {
+        return _p.base + static_cast<Addr>(l) * _p.lineBytes;
+    };
+
+    Rng rng(_p.seed);
+
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        auto &t = cpuTrace(cpu);
+        if (cpu == 0) {
+            for (unsigned l = 0; l < _p.lines; ++l)
+                t.push_back(MemOp::write(line(l)));
+        }
+        t.push_back(MemOp::barrier());
+    }
+
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        auto &t = cpuTrace(cpu);
+        Rng crng = rng.fork();
+        for (unsigned i = 0; i < _p.opsPerCpu; ++i) {
+            const unsigned l =
+                static_cast<unsigned>(crng.below(_p.lines));
+            if (crng.chance(_p.writeFraction))
+                t.push_back(MemOp::write(line(l)));
+            else
+                t.push_back(MemOp::read(line(l)));
+            if (_p.maxThink)
+                t.push_back(MemOp::think(static_cast<std::uint32_t>(
+                    crng.below(_p.maxThink) + 1)));
+            if (_p.barrierEvery && (i + 1) % _p.barrierEvery == 0)
+                t.push_back(MemOp::barrier());
+        }
+        t.push_back(MemOp::barrier());
+    }
+}
+
+} // namespace pcsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Micro workloads: directed sharing patterns for tests, examples and
+ * ablation benchmarks.
+ */
+
+#ifndef PCSIM_WORKLOAD_MICRO_HH
+#define PCSIM_WORKLOAD_MICRO_HH
+
+#include "src/sim/random.hh"
+#include "src/workload/workload.hh"
+
+namespace pcsim
+{
+
+/**
+ * The canonical producer-consumer pattern of Figure 1: one producer
+ * writes a set of lines each iteration; a fixed group of consumers
+ * reads every line after each write.
+ */
+class ProducerConsumerMicro : public TraceWorkload
+{
+  public:
+    struct Params
+    {
+        unsigned producer = 1;    ///< producer CPU (!= home by default)
+        unsigned numConsumers = 2;
+        unsigned lines = 8;
+        unsigned iterations = 50;
+        unsigned thinkCycles = 20;
+        Addr base = 0x60000000ull;
+        std::uint32_t lineBytes = 128;
+        /** CPU whose first touch homes the data (0 => home != producer,
+         *  exercising the 3-hop base case). */
+        unsigned homeCpu = 0;
+    };
+
+    explicit ProducerConsumerMicro(unsigned num_cpus)
+        : ProducerConsumerMicro(num_cpus, Params{})
+    {
+    }
+    ProducerConsumerMicro(unsigned num_cpus, Params p);
+
+    Addr line(unsigned i) const
+    {
+        return _p.base + static_cast<Addr>(i) * _p.lineBytes;
+    }
+
+  private:
+    Params _p;
+};
+
+/**
+ * Migratory sharing: CPUs take turns read-modify-writing the same
+ * lines. The PC detector must NOT classify this as producer-consumer
+ * (different writers), so delegation stays off.
+ */
+class MigratoryMicro : public TraceWorkload
+{
+  public:
+    struct Params
+    {
+        unsigned lines = 4;
+        unsigned iterations = 40;
+        unsigned thinkCycles = 20;
+        Addr base = 0x64000000ull;
+        std::uint32_t lineBytes = 128;
+    };
+
+    explicit MigratoryMicro(unsigned num_cpus)
+        : MigratoryMicro(num_cpus, Params{})
+    {
+    }
+    MigratoryMicro(unsigned num_cpus, Params p);
+
+  private:
+    Params _p;
+};
+
+/**
+ * Random coherence traffic: every CPU performs random reads/writes
+ * over a small shared line pool. The pcsim equivalent of the Ruby
+ * random tester -- run with the checker enabled it is a protocol
+ * fuzzer (races, NACK paths, delegation churn).
+ */
+class RandomMicro : public TraceWorkload
+{
+  public:
+    struct Params
+    {
+        unsigned lines = 24;
+        unsigned opsPerCpu = 400;
+        double writeFraction = 0.4;
+        unsigned maxThink = 30;
+        std::uint64_t seed = 99;
+        Addr base = 0x68000000ull;
+        std::uint32_t lineBytes = 128;
+        unsigned barrierEvery = 64; ///< 0 = no mid-run barriers
+    };
+
+    explicit RandomMicro(unsigned num_cpus)
+        : RandomMicro(num_cpus, Params{})
+    {
+    }
+    RandomMicro(unsigned num_cpus, Params p);
+
+  private:
+    Params _p;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_WORKLOAD_MICRO_HH

@@ -1,0 +1,81 @@
+#include "src/workload/ocean.hh"
+
+#include <sstream>
+
+namespace pcsim
+{
+
+OceanWorkload::OceanWorkload(unsigned num_cpus, OceanParams p)
+    : TraceWorkload("Ocean", num_cpus), _p(p)
+{
+    const unsigned elems_per_line = _p.lineBytes / 8;
+    _linesPerRow = (_p.gridDim + elems_per_line - 1) / elems_per_line;
+    const unsigned rows_per_cpu = _p.gridDim / num_cpus;
+
+    // Initialization: every CPU first-touches its own rows.
+    for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+        auto &t = cpuTrace(cpu);
+        const unsigned r0 = cpu * rows_per_cpu;
+        const unsigned r1 = (cpu + 1 == num_cpus) ? _p.gridDim
+                                                  : r0 + rows_per_cpu;
+        for (unsigned r = r0; r < r1; ++r) {
+            for (unsigned l = 0; l < _linesPerRow; ++l)
+                t.push_back(MemOp::write(rowLine(r, l)));
+        }
+        t.push_back(MemOp::barrier()); // generation 1: init done
+    }
+
+    // Relaxation iterations, Jacobi style: a gather/compute phase
+    // reads the previous values (including the neighbours' edge
+    // rows), a barrier separates it from the update phase that writes
+    // the new values. The separation keeps each boundary line's
+    // global access pattern a crisp W (R)+ W (R)+ sequence.
+    for (unsigned it = 0; it < _p.iterations; ++it) {
+        for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
+            auto &t = cpuTrace(cpu);
+            const unsigned r0 = cpu * rows_per_cpu;
+            const unsigned r1 = (cpu + 1 == num_cpus)
+                                    ? _p.gridDim
+                                    : r0 + rows_per_cpu;
+            // Gather + compute.
+            for (unsigned r = r0; r < r1; ++r) {
+                for (unsigned l = 0; l < _linesPerRow; ++l) {
+                    if (r > 0)
+                        t.push_back(MemOp::read(rowLine(r - 1, l)));
+                    t.push_back(MemOp::read(rowLine(r, l)));
+                    if (r + 1 < _p.gridDim)
+                        t.push_back(MemOp::read(rowLine(r + 1, l)));
+                    t.push_back(MemOp::think(_p.thinkPerLine));
+                }
+            }
+            t.push_back(MemOp::barrier());
+            // Update.
+            for (unsigned r = r0; r < r1; ++r) {
+                for (unsigned l = 0; l < _linesPerRow; ++l)
+                    t.push_back(MemOp::write(rowLine(r, l)));
+            }
+            t.push_back(MemOp::barrier());
+        }
+    }
+}
+
+Addr
+OceanWorkload::rowLine(unsigned row, unsigned col_line) const
+{
+    // Row-major layout, one row padded to whole lines so boundary
+    // lines are shared only with the vertical neighbour.
+    return _p.base +
+           (static_cast<Addr>(row) * _linesPerRow + col_line) *
+               _p.lineBytes;
+}
+
+std::string
+OceanWorkload::scaledProblemSize() const
+{
+    std::ostringstream os;
+    os << _p.gridDim << "*" << _p.gridDim << " array, "
+       << _p.iterations << " iterations";
+    return os.str();
+}
+
+} // namespace pcsim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ocean (SPLASH-2, contiguous partitions) sharing-pattern workload.
+ *
+ * Large-scale ocean movement simulation: a 2D grid relaxed
+ * iteratively, row-block partitioned. Processors communicate only
+ * with their immediate neighbours, so lines in boundary rows exhibit
+ * single-producer / single-consumer sharing (Table 3: 97.7% of
+ * Ocean's producer-consumer patterns have exactly one consumer).
+ *
+ * Paper problem size: 258x258 array, 1e-7 error tolerance. Scaled
+ * default here: 130x130, fixed iteration count (see DESIGN.md on
+ * scaling).
+ */
+
+#ifndef PCSIM_WORKLOAD_OCEAN_HH
+#define PCSIM_WORKLOAD_OCEAN_HH
+
+#include "src/workload/workload.hh"
+
+namespace pcsim
+{
+
+/** Ocean generator parameters. */
+struct OceanParams
+{
+    unsigned gridDim = 130;     ///< N x N grid of 8-byte elements
+    unsigned iterations = 20;
+    unsigned thinkPerLine = 500; ///< compute cycles per owned line
+    Addr base = 0x10000000ull;
+    std::uint32_t lineBytes = 128;
+};
+
+/** Build the Ocean trace for @p num_cpus CPUs. */
+class OceanWorkload : public TraceWorkload
+{
+  public:
+    explicit OceanWorkload(unsigned num_cpus, OceanParams p = {});
+
+    std::string paperProblemSize() const override
+    {
+        return "258*258 array, 1e-7 error tolerance";
+    }
+    std::string scaledProblemSize() const override;
+
+  private:
+    Addr rowLine(unsigned row, unsigned col_line) const;
+
+    OceanParams _p;
+    unsigned _linesPerRow;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_WORKLOAD_OCEAN_HH

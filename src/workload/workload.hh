@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Workload abstraction: per-CPU streams of memory operations.
+ *
+ * Workloads model the sharing pattern of the paper's benchmarks
+ * (Table 2): they emit reads/writes over a simulated shared address
+ * space, think time for the compute between references, and barrier
+ * synchronizations that are executed as real coherence traffic by the
+ * BarrierDriver.
+ *
+ * Convention: every workload begins with an initialization phase (each
+ * CPU first-touches its own data) terminated by the first barrier; the
+ * System resets statistics when that barrier releases, so reported
+ * numbers cover the parallel phase only (Section 3.2).
+ */
+
+#ifndef PCSIM_WORKLOAD_WORKLOAD_HH
+#define PCSIM_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/** One operation in a CPU's stream. */
+struct MemOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Read,
+        Write,
+        Think,
+        Barrier,
+    };
+
+    Kind kind = Kind::Think;
+    Addr addr = 0;
+    std::uint32_t cycles = 0; ///< think duration
+
+    static MemOp read(Addr a) { return {Kind::Read, a, 0}; }
+    static MemOp write(Addr a) { return {Kind::Write, a, 0}; }
+    static MemOp think(std::uint32_t c) { return {Kind::Think, 0, c}; }
+    static MemOp barrier() { return {Kind::Barrier, 0, 0}; }
+};
+
+/** Abstract per-CPU operation source. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual const std::string &name() const = 0;
+    virtual unsigned numCpus() const = 0;
+
+    /** Pull the next op for @p cpu; false when the stream is done. */
+    virtual bool next(unsigned cpu, MemOp &op) = 0;
+
+    /** Rewind all streams (for running multiple configurations). */
+    virtual void reset() = 0;
+
+    /** The paper's problem size (Table 2), for reporting. */
+    virtual std::string paperProblemSize() const { return ""; }
+    /** Our scaled problem size, for reporting. */
+    virtual std::string scaledProblemSize() const { return ""; }
+};
+
+/** Workload backed by pre-generated per-CPU traces. */
+class TraceWorkload : public Workload
+{
+  public:
+    TraceWorkload(std::string name, unsigned num_cpus)
+        : _name(std::move(name)), _trace(num_cpus), _pos(num_cpus, 0)
+    {
+    }
+
+    const std::string &name() const override { return _name; }
+    unsigned numCpus() const override
+    {
+        return static_cast<unsigned>(_trace.size());
+    }
+
+    bool
+    next(unsigned cpu, MemOp &op) override
+    {
+        auto &t = _trace.at(cpu);
+        if (_pos[cpu] >= t.size())
+            return false;
+        op = t[_pos[cpu]++];
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        for (auto &p : _pos)
+            p = 0;
+    }
+
+    /** Total operations across all CPUs (reporting). */
+    std::size_t
+    totalOps() const
+    {
+        std::size_t n = 0;
+        for (const auto &t : _trace)
+            n += t.size();
+        return n;
+    }
+
+  protected:
+    std::vector<MemOp> &cpuTrace(unsigned cpu) { return _trace.at(cpu); }
+
+    std::string _name;
+    std::vector<std::vector<MemOp>> _trace;
+    std::vector<std::size_t> _pos;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Test harness: drives a System with scripted accesses and exposes
+ * state-inspection helpers for directed protocol tests.
+ */
+
+#ifndef PCSIM_TESTS_HARNESS_HH
+#define PCSIM_TESTS_HARNESS_HH
+
+#include <gtest/gtest.h>
+
+#include "src/system/presets.hh"
+#include "src/system/system.hh"
+
+namespace pcsim
+{
+
+/** Synchronous access driver over an asynchronous System. */
+class Harness
+{
+  public:
+    explicit Harness(const MachineConfig &cfg) : sys(cfg) {}
+
+    /** Issue one access from @p cpu and drain the event queue.
+     *  @return the version the access observed/produced. */
+    Version
+    access(unsigned cpu, bool is_write, Addr addr)
+    {
+        bool done = false;
+        Version out = 0;
+        sys.hub(cpu).cpuAccess(is_write, addr, [&](Version v) {
+            done = true;
+            out = v;
+        });
+        sys.eventQueue().run();
+        EXPECT_TRUE(done) << "access did not complete";
+        return out;
+    }
+
+    Version read(unsigned cpu, Addr a) { return access(cpu, false, a); }
+    Version write(unsigned cpu, Addr a) { return access(cpu, true, a); }
+
+    /**
+     * Issue accesses from several CPUs in the same cycle (racing) and
+     * drain. Each element is {cpu, is_write, addr}.
+     */
+    struct Op
+    {
+        unsigned cpu;
+        bool isWrite;
+        Addr addr;
+    };
+
+    void
+    race(std::initializer_list<Op> ops)
+    {
+        unsigned pending = 0;
+        for (const Op &op : ops) {
+            ++pending;
+            sys.hub(op.cpu).cpuAccess(op.isWrite, op.addr,
+                                      [&pending](Version) {
+                                          --pending;
+                                      });
+        }
+        sys.eventQueue().run();
+        EXPECT_EQ(pending, 0u) << "racing accesses did not drain";
+    }
+
+    LineState
+    l2State(unsigned cpu, Addr line)
+    {
+        Version v;
+        return sys.hub(cpu).l2State(line, v);
+    }
+
+    Version
+    l2Version(unsigned cpu, Addr line)
+    {
+        Version v = 0;
+        sys.hub(cpu).l2State(line, v);
+        return v;
+    }
+
+    DirEntry dir(Addr line)
+    {
+        const NodeId home = sys.memMap().homeOf(line);
+        return sys.hub(home).homeDirEntry(line);
+    }
+
+    NodeId home(Addr line) { return sys.memMap().homeOf(line); }
+
+    bool
+    racHas(unsigned cpu, Addr line)
+    {
+        Version v;
+        bool pinned;
+        return sys.hub(cpu).racCopy(line, v, pinned);
+    }
+
+    bool
+    delegated(unsigned cpu, Addr line)
+    {
+        return sys.hub(cpu).producerEntry(line) != nullptr;
+    }
+
+    NodeStats &stats(unsigned cpu) { return sys.hub(cpu).stats(); }
+
+    void
+    checkQuiescent()
+    {
+        sys.checker().checkQuiescent([this](Addr line) {
+            return sys.memMap().homeOf(line);
+        });
+    }
+
+    System sys;
+};
+
+/** A line-aligned scratch address in an unclaimed region. */
+inline Addr
+testLine(unsigned i)
+{
+    return 0x70000000ull + static_cast<Addr>(i) * 128;
+}
+
+} // namespace pcsim
+
+#endif // PCSIM_TESTS_HARNESS_HH

@@ -1,0 +1,106 @@
+/** @file Barrier driver tests: completion, generations, and the
+ *  coherence traffic it generates (reload flurry). */
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+
+using namespace pcsim;
+
+namespace
+{
+
+/** All CPUs arrive; returns when every one has passed. */
+void
+runBarrier(Harness &h, unsigned cpus)
+{
+    unsigned passed = 0;
+    for (unsigned c = 0; c < cpus; ++c)
+        h.sys.barrier().arrive(c, [&passed]() { ++passed; });
+    h.sys.eventQueue().run();
+    ASSERT_EQ(passed, cpus);
+}
+
+} // namespace
+
+TEST(Barrier, AllCpusPass)
+{
+    Harness h(presets::base(16));
+    runBarrier(h, 16);
+    EXPECT_EQ(h.sys.barrier().generationsCompleted(), 1u);
+}
+
+TEST(Barrier, MultipleGenerations)
+{
+    Harness h(presets::base(16));
+    for (int g = 0; g < 5; ++g)
+        runBarrier(h, 16);
+    EXPECT_EQ(h.sys.barrier().generationsCompleted(), 5u);
+}
+
+TEST(Barrier, GenerationCallbackFires)
+{
+    Harness h(presets::base(16));
+    std::vector<std::uint64_t> gens;
+    h.sys.barrier().setOnGeneration(
+        [&](std::uint64_t g) { gens.push_back(g); });
+    runBarrier(h, 16);
+    runBarrier(h, 16);
+    EXPECT_EQ(gens, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(Barrier, StaggeredArrivalsStillComplete)
+{
+    Harness h(presets::base(16));
+    unsigned passed = 0;
+    // The master arrives first and must wait for every slave. Spin
+    // loops re-poll forever, so run with a bounded horizon until the
+    // last slave shows up.
+    h.sys.barrier().arrive(0, [&passed]() { ++passed; });
+    h.sys.eventQueue().run(h.sys.eventQueue().curTick() + 20000);
+    EXPECT_EQ(passed, 0u);
+    for (unsigned c = 1; c < 16; ++c) {
+        h.sys.barrier().arrive(c, [&passed]() { ++passed; });
+        h.sys.eventQueue().run(h.sys.eventQueue().curTick() + 20000);
+    }
+    EXPECT_EQ(passed, 16u);
+}
+
+TEST(Barrier, LastArriverReleasesPromptly)
+{
+    Harness h(presets::base(16));
+    unsigned passed = 0;
+    for (unsigned c = 1; c < 16; ++c)
+        h.sys.barrier().arrive(c, [&passed]() { ++passed; });
+    h.sys.eventQueue().run(h.sys.eventQueue().curTick() + 20000);
+    EXPECT_EQ(passed, 0u); // master missing
+    h.sys.barrier().arrive(0, [&passed]() { ++passed; });
+    h.sys.eventQueue().run(h.sys.eventQueue().curTick() + 50000);
+    EXPECT_EQ(passed, 16u);
+}
+
+TEST(Barrier, GeneratesCoherenceTraffic)
+{
+    Harness h(presets::base(16));
+    runBarrier(h, 16);
+    // Arrival flags and the release flag are real coherent lines.
+    EXPECT_GT(h.sys.network().numMessages(), 0u);
+}
+
+TEST(Barrier, SingleCpuDegenerate)
+{
+    Harness h(presets::base(1));
+    unsigned passed = 0;
+    h.sys.barrier().arrive(0, [&passed]() { ++passed; });
+    h.sys.eventQueue().run();
+    EXPECT_EQ(passed, 1u);
+}
+
+TEST(Barrier, WorksUnderFullMechanismConfig)
+{
+    Harness h(presets::large(16));
+    for (int g = 0; g < 8; ++g)
+        runBarrier(h, 16);
+    EXPECT_EQ(h.sys.barrier().generationsCompleted(), 8u);
+    h.checkQuiescent();
+}

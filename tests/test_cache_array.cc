@@ -1,0 +1,179 @@
+/** @file Set-associative cache array tests. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/cache/cache_array.hh"
+
+using namespace pcsim;
+
+namespace
+{
+
+struct Payload
+{
+    int value = 0;
+    bool pinned = false;
+};
+
+CacheArray<Payload>
+makeArray(std::size_t sets = 4, std::size_t ways = 2,
+          ReplPolicy pol = ReplPolicy::LRU)
+{
+    return CacheArray<Payload>("test", sets, ways, 128, pol, Rng(1));
+}
+
+} // namespace
+
+TEST(CacheArray, MissThenHit)
+{
+    auto c = makeArray();
+    EXPECT_EQ(c.find(0x1000), nullptr);
+    Payload *p = c.allocate(0x1000);
+    ASSERT_NE(p, nullptr);
+    p->value = 7;
+    EXPECT_EQ(c.find(0x1000)->value, 7);
+}
+
+TEST(CacheArray, LineAlignment)
+{
+    auto c = makeArray();
+    c.allocate(0x1000)->value = 7;
+    // Any address within the same 128 B line hits.
+    EXPECT_NE(c.find(0x1000 + 127), nullptr);
+    EXPECT_EQ(c.find(0x1000 + 128), nullptr);
+}
+
+TEST(CacheArray, AllocateExistingReturnsSameSlot)
+{
+    auto c = makeArray();
+    Payload *a = c.allocate(0x1000);
+    a->value = 3;
+    Payload *b = c.allocate(0x1000);
+    EXPECT_EQ(b->value, 3);
+}
+
+TEST(CacheArray, LruEvictsLeastRecentlyUsed)
+{
+    auto c = makeArray(/*sets=*/1, /*ways=*/2);
+    c.allocate(c.lineAlign(0 * 128));
+    c.allocate(c.lineAlign(1 * 128));
+    c.find(0); // touch line 0; line 1 becomes LRU
+    Addr evicted = invalidAddr;
+    c.allocate(2 * 128, nullptr,
+               [&](Addr a, Payload &) { evicted = a; });
+    EXPECT_EQ(evicted, 128u);
+    EXPECT_NE(c.find(0), nullptr);
+    EXPECT_EQ(c.find(128), nullptr);
+}
+
+TEST(CacheArray, CanEvictPredicateProtectsPinned)
+{
+    auto c = makeArray(1, 2);
+    c.allocate(0)->pinned = true;
+    c.allocate(128)->pinned = true;
+    Payload *p = c.allocate(
+        256, [](Addr, const Payload &v) { return !v.pinned; });
+    EXPECT_EQ(p, nullptr); // set wedged: nothing evictable
+    c.find(0, false)->pinned = false;
+    p = c.allocate(256,
+                   [](Addr, const Payload &v) { return !v.pinned; });
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(c.find(0), nullptr); // the unpinned one was displaced
+    EXPECT_NE(c.find(128), nullptr);
+}
+
+TEST(CacheArray, InvalidateRemoves)
+{
+    auto c = makeArray();
+    c.allocate(0x1000);
+    EXPECT_TRUE(c.invalidate(0x1000));
+    EXPECT_EQ(c.find(0x1000), nullptr);
+    EXPECT_FALSE(c.invalidate(0x1000));
+}
+
+TEST(CacheArray, OccupancyAndClear)
+{
+    auto c = makeArray(4, 2);
+    for (int i = 0; i < 5; ++i)
+        c.allocate(i * 128);
+    EXPECT_EQ(c.occupancy(), 5u);
+    c.clear();
+    EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(CacheArray, ForEachVisitsValidLines)
+{
+    auto c = makeArray(4, 2);
+    c.allocate(0)->value = 1;
+    c.allocate(128)->value = 2;
+    std::set<Addr> seen;
+    c.forEach([&](Addr a, Payload &) { seen.insert(a); });
+    EXPECT_EQ(seen, (std::set<Addr>{0, 128}));
+}
+
+TEST(CacheArray, NonPowerOfTwoSets)
+{
+    // Figure 8's 1.04 MB L2 uses a non-power-of-two set count.
+    auto c = makeArray(13, 2);
+    std::set<Addr> inserted;
+    for (int i = 0; i < 26; ++i) {
+        ASSERT_NE(c.allocate(i * 128), nullptr);
+        inserted.insert(i * 128);
+    }
+    EXPECT_EQ(c.occupancy(), 26u);
+    for (Addr a : inserted)
+        EXPECT_NE(c.find(a), nullptr);
+}
+
+TEST(CacheArray, CapacityBytes)
+{
+    auto c = makeArray(8, 4);
+    EXPECT_EQ(c.capacityBytes(), 8u * 4 * 128);
+}
+
+TEST(CacheArray, RandomPolicyEventuallyEvictsEverything)
+{
+    auto c = makeArray(1, 4, ReplPolicy::Random);
+    for (int i = 0; i < 4; ++i)
+        c.allocate(i * 128);
+    std::set<Addr> victims;
+    for (int i = 4; i < 200; ++i) {
+        c.allocate(i * 128, nullptr,
+                   [&](Addr a, Payload &) { victims.insert(a); });
+    }
+    // Random replacement should have displaced many distinct lines.
+    EXPECT_GT(victims.size(), 50u);
+}
+
+// Property sweep: fills never exceed capacity and hits always return
+// the last written payload, across geometries.
+class CacheArrayGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheArrayGeometry, FillAndProbe)
+{
+    const auto [sets, ways] = GetParam();
+    CacheArray<Payload> c("geom", sets, ways, 128, ReplPolicy::LRU,
+                          Rng(3));
+    const int lines = sets * ways * 3;
+    for (int i = 0; i < lines; ++i) {
+        Payload *p = c.allocate(i * 128);
+        ASSERT_NE(p, nullptr);
+        p->value = i;
+        ASSERT_LE(c.occupancy(), static_cast<std::size_t>(sets * ways));
+        Payload *hit = c.find(i * 128);
+        ASSERT_NE(hit, nullptr);
+        EXPECT_EQ(hit->value, i);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheArrayGeometry,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(1, 4),
+                      std::make_tuple(8, 2), std::make_tuple(13, 4),
+                      std::make_tuple(64, 4), std::make_tuple(256, 8)));

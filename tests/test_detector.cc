@@ -1,0 +1,183 @@
+/** @file Producer-consumer sharing detector tests (Section 2.2). */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/pc_detector.hh"
+
+using namespace pcsim;
+
+namespace
+{
+
+/**
+ * Drive a detector from a compact trace string: "W3" = write by node
+ * 3, "R5" = read by node 5. Returns whether the final op reported
+ * detection.
+ */
+bool
+drive(PcDetectorState &d, const std::string &trace,
+      const PcDetectorConfig &cfg = {})
+{
+    bool detected = false;
+    for (std::size_t i = 0; i < trace.size(); i += 2) {
+        const NodeId node = trace[i + 1] - '0';
+        if (trace[i] == 'W')
+            detected = d.onWrite(node, cfg);
+        else
+            d.onRead(node, cfg);
+    }
+    return detected;
+}
+
+} // namespace
+
+TEST(PcDetector, CanonicalPatternSaturates)
+{
+    PcDetectorState d;
+    // (W1 R2)+ : three write-repeat increments saturate the counter.
+    EXPECT_FALSE(drive(d, "W1R2W1R2W1"));
+    EXPECT_FALSE(d.isProducerConsumer());
+    EXPECT_TRUE(drive(d, "R2W1"));
+    EXPECT_TRUE(d.isProducerConsumer());
+    EXPECT_EQ(d.producer(), 1);
+}
+
+TEST(PcDetector, MultipleConsumersAlsoDetected)
+{
+    PcDetectorState d;
+    EXPECT_TRUE(drive(d, "W1R2R3R4W1R5R6W1R2W1"));
+    EXPECT_EQ(d.producer(), 1);
+}
+
+TEST(PcDetector, WriteBurstNeitherProgressesNorResets)
+{
+    PcDetectorState d;
+    // Consecutive writes by the producer with no intervening read are
+    // one burst: the counter holds its value.
+    drive(d, "W1R2W1R2W1"); // writeRepeat = 2
+    drive(d, "W1W1W1");     // burst: unchanged
+    EXPECT_FALSE(d.isProducerConsumer());
+    EXPECT_TRUE(drive(d, "R2W1")); // one more epoch saturates
+}
+
+TEST(PcDetector, DifferentWriterResetsPattern)
+{
+    PcDetectorState d;
+    drive(d, "W1R2W1R2W1"); // nearly saturated
+    drive(d, "W5");         // another writer: false sharing/migratory
+    EXPECT_FALSE(d.isProducerConsumer());
+    EXPECT_EQ(d.producer(), 5);
+    // Needs three full epochs from the new writer again.
+    EXPECT_FALSE(drive(d, "R2W5R2W5"));
+    EXPECT_TRUE(drive(d, "R2W5"));
+}
+
+TEST(PcDetector, MigratorySharingNeverDetected)
+{
+    PcDetectorState d;
+    for (int it = 0; it < 20; ++it) {
+        for (NodeId n = 0; n < 4; ++n) {
+            d.onRead(n);
+            EXPECT_FALSE(d.onWrite(n));
+        }
+    }
+}
+
+TEST(PcDetector, ReadsByProducerDoNotCount)
+{
+    PcDetectorState d;
+    // The producer re-reading its own data provides no evidence of
+    // consumers.
+    EXPECT_FALSE(drive(d, "W1R1W1R1W1R1W1R1W1"));
+}
+
+TEST(PcDetector, DuplicateReaderCountedOnce)
+{
+    PcDetectorState d;
+    d.onWrite(1);
+    d.onRead(2);
+    d.onRead(2);
+    d.onRead(2);
+    EXPECT_EQ(d.readerCount, 1);
+    d.onRead(3);
+    EXPECT_EQ(d.readerCount, 2);
+}
+
+TEST(PcDetector, ReaderCountSaturatesAtTwoBits)
+{
+    PcDetectorState d;
+    d.onWrite(1);
+    for (NodeId n = 2; n < 10; ++n)
+        d.onRead(n);
+    EXPECT_EQ(d.readerCount, 3); // 2-bit saturating
+}
+
+TEST(PcDetector, WriteResetsReaderTracking)
+{
+    PcDetectorState d;
+    drive(d, "W1R2R3");
+    EXPECT_EQ(d.readerCount, 2);
+    d.onWrite(1);
+    EXPECT_EQ(d.readerCount, 0);
+}
+
+TEST(PcDetector, ResetClearsEverything)
+{
+    PcDetectorState d;
+    drive(d, "W1R2W1R2W1R2W1");
+    ASSERT_TRUE(d.isProducerConsumer());
+    d.reset();
+    EXPECT_FALSE(d.isProducerConsumer());
+    EXPECT_EQ(d.lastWriter, PcDetectorState::noWriter);
+    EXPECT_EQ(d.writeRepeat, 0);
+}
+
+TEST(PcDetector, ConfigurableSaturationThreshold)
+{
+    PcDetectorConfig cfg;
+    cfg.writeRepeatSaturation = 1;
+    PcDetectorState d;
+    EXPECT_FALSE(drive(d, "W1", cfg));
+    EXPECT_TRUE(drive(d, "R2W1", cfg)); // one epoch suffices
+}
+
+// Property sweep: the regular expression ...(Wi)(R!=i)+(Wi)(R!=i)+...
+// must be detected for every producer/consumer-count combination, and
+// never for alternating writers.
+class PcDetectorPattern
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(PcDetectorPattern, DetectsExactlyStablePatterns)
+{
+    const auto [producer, consumers] = GetParam();
+    PcDetectorState d;
+    bool detected = false;
+    for (int epoch = 0; epoch < 4; ++epoch) {
+        detected = d.onWrite(producer);
+        for (int c = 1; c <= consumers; ++c)
+            d.onRead((producer + c) % 16);
+    }
+    EXPECT_TRUE(detected);
+    EXPECT_EQ(d.producer(), producer);
+
+    // The same trace with the writer alternating must never detect.
+    PcDetectorState d2;
+    bool bad = false;
+    for (int epoch = 0; epoch < 16; ++epoch) {
+        bad |= d2.onWrite(epoch % 2 == 0 ? producer
+                                         : (producer + 1) % 16);
+        for (int c = 1; c <= consumers; ++c)
+            d2.onRead((producer + 4 + c) % 16);
+    }
+    EXPECT_FALSE(bad);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, PcDetectorPattern,
+    ::testing::Combine(::testing::Values(0, 1, 7, 15),
+                       ::testing::Values(1, 2, 3, 8, 15)));

@@ -1,0 +1,135 @@
+/** @file Event queue kernel tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.hh"
+
+using namespace pcsim;
+
+TEST(EventQueue, StartsAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.numPending(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, TiesBreakInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&]() {
+        eq.scheduleIn(50, [&]() { seen = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        if (++count < 10)
+            eq.scheduleIn(1, chain);
+    };
+    eq.scheduleIn(1, chain);
+    EXPECT_EQ(eq.run(), 10u);
+    EXPECT_EQ(eq.curTick(), 10u);
+}
+
+TEST(EventQueue, RunHonoursLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() { ++fired; });
+    eq.schedule(20, [&]() { ++fired; });
+    eq.schedule(30, [&]() { ++fired; });
+    EXPECT_EQ(eq.run(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.numPending(), 1u);
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, StopRequestHaltsExecution)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() {
+        ++fired;
+        eq.requestStop();
+    });
+    eq.schedule(20, [&]() { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.numPending(), 1u);
+}
+
+TEST(EventQueue, StepExecutesOneEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() { ++fired; });
+    eq.schedule(2, [&]() { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.schedule(5, []() {});
+    eq.run(7);
+    eq.reset();
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, []() {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, []() {}), "past");
+}
+
+TEST(EventQueue, SameTickSchedulingAllowed)
+{
+    EventQueue eq;
+    bool ran = false;
+    eq.schedule(10, [&]() {
+        eq.schedule(10, [&]() { ran = true; }); // now is legal
+    });
+    eq.run();
+    EXPECT_TRUE(ran);
+}

@@ -1,0 +1,121 @@
+/** @file L1 cache and MSHR table tests. */
+
+#include <gtest/gtest.h>
+
+#include "src/cache/l1_cache.hh"
+#include "src/cache/mshr.hh"
+
+using namespace pcsim;
+
+TEST(L1Cache, FillAndLookup)
+{
+    L1Cache l1(L1Config{}, Rng(1));
+    EXPECT_FALSE(l1.lookup(0x1000));
+    l1.fill(0x1000);
+    EXPECT_TRUE(l1.lookup(0x1000));
+    // Same 32 B line hits; the next line does not.
+    EXPECT_TRUE(l1.lookup(0x101f));
+    EXPECT_FALSE(l1.lookup(0x1020));
+}
+
+TEST(L1Cache, BackInvalidateCoversL2Line)
+{
+    L1Cache l1(L1Config{}, Rng(1));
+    // Fill all four 32 B L1 lines under one 128 B L2 line.
+    for (Addr a = 0x2000; a < 0x2080; a += 32)
+        l1.fill(a);
+    l1.fill(0x2080); // belongs to the next L2 line
+    l1.invalidateRange(0x2000, 128);
+    for (Addr a = 0x2000; a < 0x2080; a += 32)
+        EXPECT_FALSE(l1.lookup(a));
+    EXPECT_TRUE(l1.lookup(0x2080));
+}
+
+TEST(L1Cache, ConfigGeometry)
+{
+    L1Config cfg;
+    cfg.sizeBytes = 1024;
+    cfg.ways = 2;
+    cfg.lineBytes = 32;
+    cfg.hitLatency = 3;
+    L1Cache l1(cfg, Rng(2));
+    EXPECT_EQ(l1.hitLatency(), 3u);
+    EXPECT_EQ(l1.lineBytes(), 32u);
+}
+
+TEST(MshrTable, AllocateAndFind)
+{
+    MshrTable t(2);
+    EXPECT_EQ(t.find(0x100), nullptr);
+    Mshr *m = t.allocate(0x100);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->addr, 0x100u);
+    EXPECT_EQ(t.find(0x100), m);
+}
+
+TEST(MshrTable, RejectsDuplicatesAndOverflow)
+{
+    MshrTable t(2);
+    EXPECT_NE(t.allocate(0x100), nullptr);
+    EXPECT_EQ(t.allocate(0x100), nullptr); // duplicate
+    EXPECT_NE(t.allocate(0x200), nullptr);
+    EXPECT_TRUE(t.full());
+    EXPECT_EQ(t.allocate(0x300), nullptr); // full
+    t.free(0x100);
+    EXPECT_NE(t.allocate(0x300), nullptr);
+}
+
+TEST(Mshr, ReadReadyNeedsData)
+{
+    Mshr m;
+    m.isWrite = false;
+    EXPECT_FALSE(m.ready());
+    m.haveData = true;
+    EXPECT_TRUE(m.ready());
+}
+
+TEST(Mshr, WriteReadyNeedsAckCountAndAcks)
+{
+    Mshr m;
+    m.isWrite = true;
+    m.haveData = true;
+    EXPECT_FALSE(m.ready()); // ack count unknown
+    m.acksExpected = 2;
+    EXPECT_FALSE(m.ready());
+    m.acksReceived = 1;
+    EXPECT_FALSE(m.ready());
+    m.acksReceived = 2;
+    EXPECT_TRUE(m.ready());
+}
+
+TEST(Mshr, AcksMayArriveBeforeCountKnown)
+{
+    Mshr m;
+    m.isWrite = true;
+    m.haveData = true;
+    m.acksReceived = 3; // early acks
+    EXPECT_FALSE(m.ready());
+    m.acksExpected = 3;
+    EXPECT_TRUE(m.ready());
+}
+
+TEST(Mshr, LostCopyUpgradeNeedsData)
+{
+    Mshr m;
+    m.isWrite = true;
+    m.acksExpected = 0;
+    m.lostCopy = true;
+    EXPECT_FALSE(m.ready()); // dataless grant no longer sufficient
+    m.haveData = true;
+    EXPECT_TRUE(m.ready());
+}
+
+TEST(MshrTable, ForEachVisitsAll)
+{
+    MshrTable t(4);
+    t.allocate(0x100);
+    t.allocate(0x200);
+    int n = 0;
+    t.forEach([&](Mshr &) { ++n; });
+    EXPECT_EQ(n, 2);
+}

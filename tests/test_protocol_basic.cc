@@ -1,0 +1,251 @@
+/** @file Directed tests of the base directory write-invalidate
+ *  protocol (2-hop / 3-hop transactions, invalidation fan-out,
+ *  writebacks). */
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+
+using namespace pcsim;
+
+namespace
+{
+
+MachineConfig
+baseCfg()
+{
+    MachineConfig m = presets::base(16);
+    return m;
+}
+
+} // namespace
+
+TEST(ProtocolBasic, FirstTouchHomesAtFirstAccessor)
+{
+    Harness h(baseCfg());
+    h.read(5, testLine(0));
+    EXPECT_EQ(h.home(testLine(0)), 5);
+}
+
+TEST(ProtocolBasic, ReadUnownedGivesSharedCopy)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(3, a); // homes at 3, local
+    EXPECT_EQ(h.l2State(3, a), LineState::Shared);
+    DirEntry d = h.dir(a);
+    EXPECT_EQ(d.state, DirState::Shared);
+    EXPECT_TRUE(d.isSharer(3));
+    h.checkQuiescent();
+}
+
+TEST(ProtocolBasic, LocalMissDoesNotTouchNetwork)
+{
+    Harness h(baseCfg());
+    h.read(3, testLine(0));
+    EXPECT_EQ(h.stats(3).localMisses, 1u);
+    EXPECT_EQ(h.stats(3).remoteMisses, 0u);
+    EXPECT_EQ(h.sys.network().numMessages(), 0u);
+}
+
+TEST(ProtocolBasic, RemoteReadIsTwoHop)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(0, a); // home = 0
+    h.read(5, a); // remote 2-hop read
+    EXPECT_EQ(h.stats(5).remoteMisses, 1u);
+    EXPECT_EQ(h.stats(5).twoHopMisses, 1u);
+    EXPECT_EQ(h.stats(5).threeHopMisses, 0u);
+    EXPECT_EQ(h.l2State(5, a), LineState::Shared);
+    EXPECT_TRUE(h.dir(a).isSharer(5));
+    h.checkQuiescent();
+}
+
+TEST(ProtocolBasic, WriteUnownedGivesExclusive)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    const Version v = h.write(2, a);
+    EXPECT_EQ(v, 1u);
+    EXPECT_EQ(h.l2State(2, a), LineState::Modified);
+    DirEntry d = h.dir(a);
+    EXPECT_EQ(d.state, DirState::Excl);
+    EXPECT_EQ(d.owner, 2);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolBasic, VersionsCountStores)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    EXPECT_EQ(h.write(2, a), 1u);
+    EXPECT_EQ(h.write(2, a), 2u);
+    EXPECT_EQ(h.write(2, a), 3u);
+    EXPECT_EQ(h.read(4, a), 3u); // reader sees the newest version
+}
+
+TEST(ProtocolBasic, WriteInvalidatesAllSharers)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(0, a);
+    for (unsigned c = 1; c <= 4; ++c)
+        h.read(c, a);
+    h.write(7, a);
+    for (unsigned c = 0; c <= 4; ++c)
+        EXPECT_EQ(h.l2State(c, a), LineState::Invalid) << "cpu " << c;
+    EXPECT_EQ(h.l2State(7, a), LineState::Modified);
+    EXPECT_EQ(h.dir(a).owner, 7);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolBasic, UpgradeKeepsDataLocal)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.read(3, a);        // 3 has a SHARED copy
+    const auto reads_before = h.stats(3).remoteMisses;
+    h.write(3, a);       // upgrade: ownership without data transfer
+    EXPECT_EQ(h.l2State(3, a), LineState::Modified);
+    EXPECT_EQ(h.stats(3).remoteMisses, reads_before + 1);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolBasic, ThreeHopRead)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(0, a);  // home 0
+    h.write(5, a); // owner 5 (dirty)
+    h.read(9, a);  // 3-hop: 9 -> 0 -> 5 -> 9
+    EXPECT_EQ(h.stats(9).threeHopMisses, 1u);
+    EXPECT_EQ(h.l2State(9, a), LineState::Shared);
+    EXPECT_EQ(h.l2State(5, a), LineState::Shared); // downgraded
+    DirEntry d = h.dir(a);
+    EXPECT_EQ(d.state, DirState::Shared);
+    EXPECT_TRUE(d.isSharer(5));
+    EXPECT_TRUE(d.isSharer(9));
+    h.checkQuiescent();
+}
+
+TEST(ProtocolBasic, ThreeHopWriteTransfersOwnership)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.write(5, a);
+    h.write(9, a); // 3-hop transfer 5 -> 9
+    EXPECT_EQ(h.l2State(5, a), LineState::Invalid);
+    EXPECT_EQ(h.l2State(9, a), LineState::Modified);
+    EXPECT_EQ(h.dir(a).owner, 9);
+    EXPECT_GE(h.stats(9).threeHopMisses, 1u);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolBasic, ReadAfterWriteSeesNewData)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(0, a);
+    Version v1 = h.write(5, a);
+    EXPECT_EQ(h.read(9, a), v1);
+    Version v2 = h.write(5, a); // upgrade again
+    EXPECT_EQ(h.read(9, a), v2);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolBasic, EvictionWritesBackModifiedData)
+{
+    MachineConfig m = baseCfg();
+    // Tiny L2 to force evictions: 4 sets * 1 way * 128 B.
+    m.proto.l2SizeBytes = 4 * 128;
+    m.proto.l2Ways = 1;
+    Harness h(m);
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.write(5, a);
+    // Write conflicting lines on node 5 to evict `a` (same set every
+    // 4 lines).
+    h.write(5, testLine(4));
+    EXPECT_EQ(h.l2State(5, a), LineState::Invalid);
+    EXPECT_GE(h.stats(5).writebacks, 1u);
+    DirEntry d = h.dir(a);
+    EXPECT_EQ(d.state, DirState::Unowned);
+    // Memory received the current data.
+    EXPECT_EQ(h.read(9, a), 1u);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolBasic, CleanExclusiveEvictionAlsoNotifiesHome)
+{
+    MachineConfig m = baseCfg();
+    m.proto.l2SizeBytes = 4 * 128;
+    m.proto.l2Ways = 1;
+    Harness h(m);
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.write(5, a);           // M at 5
+    h.read(9, a);            // downgrade: 5 and 9 Shared
+    h.write(5, a);           // upgrade: M at 5 again
+    h.write(5, testLine(4)); // evict -> writeback
+    EXPECT_EQ(h.dir(a).state, DirState::Unowned);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolBasic, L1HitsAvoidTheL2)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(3, a);
+    const auto l2_before = h.stats(3).l2Hits;
+    h.read(3, a);
+    h.read(3, a);
+    EXPECT_EQ(h.stats(3).l1Hits, 2u);
+    EXPECT_EQ(h.stats(3).l2Hits, l2_before);
+}
+
+TEST(ProtocolBasic, SilentSharedEvictionToleratedByInval)
+{
+    MachineConfig m = baseCfg();
+    m.proto.l2SizeBytes = 4 * 128;
+    m.proto.l2Ways = 1;
+    Harness h(m);
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.read(5, a);            // 5 shares
+    h.read(5, testLine(4));  // silently evicts the S copy
+    EXPECT_EQ(h.l2State(5, a), LineState::Invalid);
+    // Home still lists 5; the write's Inval to 5 must be acked even
+    // though 5 no longer holds the line.
+    EXPECT_TRUE(h.dir(a).isSharer(5));
+    h.write(9, a);
+    EXPECT_EQ(h.dir(a).owner, 9);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolBasic, DistinctLinesAreIndependent)
+{
+    Harness h(baseCfg());
+    for (unsigned i = 0; i < 8; ++i)
+        h.write(i, testLine(i));
+    for (unsigned i = 0; i < 8; ++i) {
+        EXPECT_EQ(h.l2State(i, testLine(i)), LineState::Modified);
+        EXPECT_EQ(h.dir(testLine(i)).owner, i);
+    }
+    h.checkQuiescent();
+}
+
+TEST(ProtocolBasic, SixteenReadersAllBecomeSharers)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.write(0, a);
+    for (unsigned c = 0; c < 16; ++c)
+        h.read(c, a);
+    DirEntry d = h.dir(a);
+    EXPECT_EQ(d.state, DirState::Shared);
+    EXPECT_EQ(d.numSharers(), 16u);
+    h.checkQuiescent();
+}

@@ -1,0 +1,213 @@
+/** @file Race-condition tests: concurrent conflicting accesses,
+ *  writeback races, NACK/retry paths (Section 2.3.4's discipline). */
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+
+using namespace pcsim;
+
+namespace
+{
+
+MachineConfig
+baseCfg()
+{
+    return presets::base(16);
+}
+
+} // namespace
+
+TEST(ProtocolRaces, TwoConcurrentWritersSerialize)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.race({{3, true, a}, {7, true, a}});
+    // Exactly one final owner; both stores performed (version 2).
+    const DirEntry d = h.dir(a);
+    EXPECT_EQ(d.state, DirState::Excl);
+    const unsigned owner = d.owner;
+    EXPECT_TRUE(owner == 3 || owner == 7);
+    EXPECT_EQ(h.l2Version(owner, a), 2u);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolRaces, ManyConcurrentWritersSerialize)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.race({{1, true, a},
+            {2, true, a},
+            {3, true, a},
+            {4, true, a},
+            {5, true, a},
+            {6, true, a}});
+    EXPECT_EQ(h.dir(a).state, DirState::Excl);
+    EXPECT_EQ(h.l2Version(h.dir(a).owner, a), 6u);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolRaces, ConcurrentUpgradesOneLosesCopy)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.read(3, a);
+    h.read(7, a);
+    // Both sharers upgrade simultaneously: one must be invalidated
+    // and fall back to a full fetch.
+    h.race({{3, true, a}, {7, true, a}});
+    EXPECT_EQ(h.dir(a).state, DirState::Excl);
+    EXPECT_EQ(h.l2Version(h.dir(a).owner, a), 2u);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolRaces, ReadersRaceWriter)
+{
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.write(5, a);
+    h.race({{1, false, a},
+            {2, false, a},
+            {9, true, a},
+            {3, false, a},
+            {4, false, a}});
+    h.checkQuiescent();
+    // Everyone who holds a copy holds the current version.
+    for (unsigned c : {1u, 2u, 3u, 4u, 9u}) {
+        Version v;
+        if (h.sys.hub(c).l2State(a, v) != LineState::Invalid)
+            EXPECT_EQ(v, 2u) << "cpu " << c;
+    }
+}
+
+TEST(ProtocolRaces, ReloadFlurryNacksAndResolves)
+{
+    // All 15 spinners re-read an exclusively-held line at once: the
+    // home NACKs while BusyRead (the em3d reload-flurry phenomenon).
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.write(0, a);
+    std::initializer_list<Harness::Op> readers = {
+        {1, false, a},  {2, false, a},  {3, false, a},  {4, false, a},
+        {5, false, a},  {6, false, a},  {7, false, a},  {8, false, a},
+        {9, false, a},  {10, false, a}, {11, false, a}, {12, false, a},
+        {13, false, a}, {14, false, a}, {15, false, a}};
+    h.race(readers);
+    std::uint64_t nacks = 0;
+    for (unsigned c = 0; c < 16; ++c)
+        nacks += h.stats(c).nacksReceived;
+    EXPECT_GT(nacks, 0u);
+    for (unsigned c = 1; c < 16; ++c)
+        EXPECT_EQ(h.l2Version(c, a), 1u);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolRaces, WritebackRacesIntervention)
+{
+    // Owner evicts (writeback in flight) while a reader triggers an
+    // intervention: point-to-point ordering resolves it at the home.
+    MachineConfig m = baseCfg();
+    m.proto.l2SizeBytes = 4 * 128;
+    m.proto.l2Ways = 1;
+    Harness h(m);
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.write(5, a);
+    // The eviction (write to a conflicting line) and the remote read
+    // race each other.
+    h.race({{5, true, testLine(4)}, {9, false, a}});
+    EXPECT_EQ(h.read(9, a), 1u);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolRaces, WritebackRacesTransfer)
+{
+    MachineConfig m = baseCfg();
+    m.proto.l2SizeBytes = 4 * 128;
+    m.proto.l2Ways = 1;
+    Harness h(m);
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.write(5, a);
+    h.race({{5, true, testLine(4)}, {9, true, a}});
+    EXPECT_EQ(h.dir(a).owner, 9);
+    EXPECT_EQ(h.l2Version(9, a), 2u);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolRaces, InterventionDuringGrantIsRetried)
+{
+    // A writes (gaining exclusivity) while B writes right behind it:
+    // B's intervention can reach A before A's own grant completes;
+    // the home must NACK-and-retry, never deadlock.
+    Harness h(baseCfg());
+    const Addr a = testLine(0);
+    h.read(0, a);
+    for (unsigned c = 1; c <= 6; ++c)
+        h.read(c, a); // seed sharers so grants take a while (acks)
+    h.race({{3, true, a}, {9, true, a}, {12, false, a}});
+    h.checkQuiescent();
+}
+
+TEST(ProtocolRaces, StressManyLinesManyCpus)
+{
+    Harness h(baseCfg());
+    // Interleave conflicting traffic over several lines at once.
+    std::vector<Harness::Op> ops;
+    for (unsigned round = 0; round < 6; ++round) {
+        for (unsigned c = 0; c < 16; ++c) {
+            ops.push_back({c, (c + round) % 3 == 0,
+                           testLine((c + round) % 4)});
+        }
+    }
+    unsigned pending = 0;
+    for (const auto &op : ops) {
+        ++pending;
+        h.sys.hub(op.cpu).cpuAccess(op.isWrite, op.addr,
+                                    [&pending](Version) { --pending; });
+    }
+    h.sys.eventQueue().run();
+    EXPECT_EQ(pending, 0u);
+    h.checkQuiescent();
+}
+
+TEST(ProtocolRaces, RoamingInterventionCannotHitReacquiredLine)
+{
+    // Regression for a bug the random fuzzer caught: the home used to
+    // resolve a writeback-raced BUSY episode immediately, letting the
+    // still-in-flight intervention reach the old owner AFTER it
+    // re-acquired the line (yielding a spurious TransferAck and data
+    // loss). The home now stays BUSY until the IntervNack returns.
+    MachineConfig m = presets::base(16);
+    m.proto.l2SizeBytes = 4 * 128;
+    m.proto.l2Ways = 1;
+    Harness h(m);
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.write(5, a); // owner 5
+    // 5 evicts (writeback) while 9 writes (intervention) and 5
+    // immediately re-writes the line (re-acquisition attempt).
+    h.race({{5, true, testLine(4)}, {9, true, a}, {5, true, a}});
+    h.checkQuiescent();
+    // All three stores performed exactly once.
+    EXPECT_EQ(h.sys.checker().authority().current(a), 3u);
+}
+
+TEST(ProtocolRaces, WritebackRaceStillAnswersTheReader)
+{
+    MachineConfig m = presets::base(16);
+    m.proto.l2SizeBytes = 4 * 128;
+    m.proto.l2Ways = 1;
+    Harness h(m);
+    const Addr a = testLine(0);
+    h.read(0, a);
+    h.write(5, a);
+    h.race({{5, true, testLine(4)}, {9, false, a}, {5, false, a}});
+    EXPECT_EQ(h.read(9, a), 1u);
+    h.checkQuiescent();
+}

@@ -1,0 +1,99 @@
+/** @file Deterministic RNG tests. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sim/random.hh"
+
+using namespace pcsim;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 500; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng r(9);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = r.between(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        lo |= (v == 3);
+        hi |= (v == 6);
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    // The child stream should not simply mirror the parent.
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == child.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkDeterministic)
+{
+    Rng a(5), b(5);
+    Rng ca = a.fork(), cb = b.fork();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(ca.next(), cb.next());
+}
