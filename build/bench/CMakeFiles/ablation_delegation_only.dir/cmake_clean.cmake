@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_delegation_only.dir/ablation_delegation_only.cc.o"
+  "CMakeFiles/ablation_delegation_only.dir/ablation_delegation_only.cc.o.d"
+  "ablation_delegation_only"
+  "ablation_delegation_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_delegation_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

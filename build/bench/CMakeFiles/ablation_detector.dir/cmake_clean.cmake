@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_detector.dir/ablation_detector.cc.o"
+  "CMakeFiles/ablation_detector.dir/ablation_detector.cc.o.d"
+  "ablation_detector"
+  "ablation_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hop_latency.dir/fig10_hop_latency.cc.o"
+  "CMakeFiles/fig10_hop_latency.dir/fig10_hop_latency.cc.o.d"
+  "fig10_hop_latency"
+  "fig10_hop_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hop_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

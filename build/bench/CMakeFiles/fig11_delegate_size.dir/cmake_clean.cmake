@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_delegate_size.dir/fig11_delegate_size.cc.o"
+  "CMakeFiles/fig11_delegate_size.dir/fig11_delegate_size.cc.o.d"
+  "fig11_delegate_size"
+  "fig11_delegate_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_delegate_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_rac_size.dir/fig12_rac_size.cc.o"
+  "CMakeFiles/fig12_rac_size.dir/fig12_rac_size.cc.o.d"
+  "fig12_rac_size"
+  "fig12_rac_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_rac_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

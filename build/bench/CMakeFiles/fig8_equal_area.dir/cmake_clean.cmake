@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_equal_area.dir/fig8_equal_area.cc.o"
+  "CMakeFiles/fig8_equal_area.dir/fig8_equal_area.cc.o.d"
+  "fig8_equal_area"
+  "fig8_equal_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_equal_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_intervention_delay.dir/fig9_intervention_delay.cc.o"
+  "CMakeFiles/fig9_intervention_delay.dir/fig9_intervention_delay.cc.o.d"
+  "fig9_intervention_delay"
+  "fig9_intervention_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_intervention_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_summary.dir/headline_summary.cc.o"
+  "CMakeFiles/headline_summary.dir/headline_summary.cc.o.d"
+  "headline_summary"
+  "headline_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

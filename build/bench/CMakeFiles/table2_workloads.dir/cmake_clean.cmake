@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_workloads.dir/table2_workloads.cc.o"
+  "CMakeFiles/table2_workloads.dir/table2_workloads.cc.o.d"
+  "table2_workloads"
+  "table2_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

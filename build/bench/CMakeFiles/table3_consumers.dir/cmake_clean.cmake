@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_consumers.dir/table3_consumers.cc.o"
+  "CMakeFiles/table3_consumers.dir/table3_consumers.cc.o.d"
+  "table3_consumers"
+  "table3_consumers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_consumers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_check_demo.dir/model_check_demo.cpp.o"
+  "CMakeFiles/model_check_demo.dir/model_check_demo.cpp.o.d"
+  "model_check_demo"
+  "model_check_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_check_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/producer_consumer_tour.dir/producer_consumer_tour.cpp.o"
+  "CMakeFiles/producer_consumer_tour.dir/producer_consumer_tour.cpp.o.d"
+  "producer_consumer_tour"
+  "producer_consumer_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/producer_consumer_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for producer_consumer_tour.
+# This may be replaced when dependencies are built.

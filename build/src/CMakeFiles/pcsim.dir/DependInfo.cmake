@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/barrier.cc" "src/CMakeFiles/pcsim.dir/cpu/barrier.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/cpu/barrier.cc.o.d"
+  "/root/repo/src/cpu/cpu.cc" "src/CMakeFiles/pcsim.dir/cpu/cpu.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/cpu/cpu.cc.o.d"
+  "/root/repo/src/mc/protocol_model.cc" "src/CMakeFiles/pcsim.dir/mc/protocol_model.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/mc/protocol_model.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/CMakeFiles/pcsim.dir/net/message.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/net/message.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/pcsim.dir/net/network.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/net/network.cc.o.d"
+  "/root/repo/src/protocol/cache_controller.cc" "src/CMakeFiles/pcsim.dir/protocol/cache_controller.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/protocol/cache_controller.cc.o.d"
+  "/root/repo/src/protocol/checker.cc" "src/CMakeFiles/pcsim.dir/protocol/checker.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/protocol/checker.cc.o.d"
+  "/root/repo/src/protocol/dir_controller.cc" "src/CMakeFiles/pcsim.dir/protocol/dir_controller.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/protocol/dir_controller.cc.o.d"
+  "/root/repo/src/protocol/hub.cc" "src/CMakeFiles/pcsim.dir/protocol/hub.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/protocol/hub.cc.o.d"
+  "/root/repo/src/protocol/producer_controller.cc" "src/CMakeFiles/pcsim.dir/protocol/producer_controller.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/protocol/producer_controller.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/pcsim.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/sim/logging.cc.o.d"
+  "/root/repo/src/system/presets.cc" "src/CMakeFiles/pcsim.dir/system/presets.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/system/presets.cc.o.d"
+  "/root/repo/src/system/system.cc" "src/CMakeFiles/pcsim.dir/system/system.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/system/system.cc.o.d"
+  "/root/repo/src/workload/appbt.cc" "src/CMakeFiles/pcsim.dir/workload/appbt.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/workload/appbt.cc.o.d"
+  "/root/repo/src/workload/barnes.cc" "src/CMakeFiles/pcsim.dir/workload/barnes.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/workload/barnes.cc.o.d"
+  "/root/repo/src/workload/cg.cc" "src/CMakeFiles/pcsim.dir/workload/cg.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/workload/cg.cc.o.d"
+  "/root/repo/src/workload/em3d.cc" "src/CMakeFiles/pcsim.dir/workload/em3d.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/workload/em3d.cc.o.d"
+  "/root/repo/src/workload/lu.cc" "src/CMakeFiles/pcsim.dir/workload/lu.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/workload/lu.cc.o.d"
+  "/root/repo/src/workload/mg.cc" "src/CMakeFiles/pcsim.dir/workload/mg.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/workload/mg.cc.o.d"
+  "/root/repo/src/workload/micro.cc" "src/CMakeFiles/pcsim.dir/workload/micro.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/workload/micro.cc.o.d"
+  "/root/repo/src/workload/ocean.cc" "src/CMakeFiles/pcsim.dir/workload/ocean.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/workload/ocean.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/CMakeFiles/pcsim.dir/workload/suite.cc.o" "gcc" "src/CMakeFiles/pcsim.dir/workload/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for pcsim.
+# This may be replaced when dependencies are built.

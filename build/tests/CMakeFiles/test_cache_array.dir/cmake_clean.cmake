@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_array.dir/test_cache_array.cc.o"
+  "CMakeFiles/test_cache_array.dir/test_cache_array.cc.o.d"
+  "test_cache_array"
+  "test_cache_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

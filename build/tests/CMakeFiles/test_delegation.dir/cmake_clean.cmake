@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delegation.dir/test_delegation.cc.o"
+  "CMakeFiles/test_delegation.dir/test_delegation.cc.o.d"
+  "test_delegation"
+  "test_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detector.dir/test_detector.cc.o"
+  "CMakeFiles/test_detector.dir/test_detector.cc.o.d"
+  "test_detector"
+  "test_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_queue.dir/test_event_queue.cc.o"
+  "CMakeFiles/test_event_queue.dir/test_event_queue.cc.o.d"
+  "test_event_queue"
+  "test_event_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

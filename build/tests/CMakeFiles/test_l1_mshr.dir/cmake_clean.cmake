@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l1_mshr.dir/test_l1_mshr.cc.o"
+  "CMakeFiles/test_l1_mshr.dir/test_l1_mshr.cc.o.d"
+  "test_l1_mshr"
+  "test_l1_mshr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l1_mshr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

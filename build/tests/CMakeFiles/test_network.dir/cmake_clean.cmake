@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network.dir/test_network.cc.o"
+  "CMakeFiles/test_network.dir/test_network.cc.o.d"
+  "test_network"
+  "test_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_basic.dir/test_protocol_basic.cc.o"
+  "CMakeFiles/test_protocol_basic.dir/test_protocol_basic.cc.o.d"
+  "test_protocol_basic"
+  "test_protocol_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_races.dir/test_protocol_races.cc.o"
+  "CMakeFiles/test_protocol_races.dir/test_protocol_races.cc.o.d"
+  "test_protocol_races"
+  "test_protocol_races.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

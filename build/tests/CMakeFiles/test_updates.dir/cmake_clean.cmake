@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_updates.dir/test_updates.cc.o"
+  "CMakeFiles/test_updates.dir/test_updates.cc.o.d"
+  "test_updates"
+  "test_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
