@@ -1,0 +1,461 @@
+/**
+ * @file
+ * `pcsim` -- unified experiment-runner CLI.
+ *
+ *   pcsim run   --workload em3d --config pcopt --json out.json
+ *   pcsim sweep --figure 7 -j8
+ *   pcsim list
+ *
+ * `run` executes a (workload x config x seed) cartesian product built
+ * from comma-separated lists; `sweep` reproduces a paper figure/table
+ * through the same runner and prints the paper-comparison table as a
+ * formatting layer over the JSON results document. Simulations are
+ * deterministic, so `--deterministic-check` (run everything twice and
+ * byte-compare the serialized results) should never fail; CI wires it
+ * in as a regression tripwire.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/runner/figures.hh"
+#include "src/runner/job.hh"
+#include "src/runner/results.hh"
+#include "src/runner/runner.hh"
+
+using namespace pcsim;
+
+namespace
+{
+
+int
+usage(std::FILE *out)
+{
+    std::fprintf(out,
+"pcsim - producer-consumer coherence protocol experiment runner\n"
+"\n"
+"usage:\n"
+"  pcsim run   --workload <names> [--config <names>] [options]\n"
+"  pcsim sweep (--figure 7|9|10 | --table 2) [options]\n"
+"  pcsim list             list workloads and configuration presets\n"
+"  pcsim help             show this text\n"
+"\n"
+"run selection:\n"
+"  --workload a,b         workload names, case-insensitive\n"
+"                         (micro is an alias for PCmicro)\n"
+"  --config a,b           machine presets (default: base)\n"
+"  --seeds n,m            seeds, one job per seed (default: 1)\n"
+"  --nodes N              machine size (default: 16)\n"
+"  --scale F              workload scale factor (default: 1)\n"
+"  --checker              enable the coherence invariant checker\n"
+"\n"
+"common options:\n"
+"  -j N, --jobs N         worker threads; 0 = all cores\n"
+"                         (default: 1 for run, all cores for sweep)\n"
+"  --json PATH            write JSON results; '-' = stdout\n"
+"  --csv PATH             write CSV results; '-' = stdout\n"
+"  --deterministic-check  run every job twice, byte-compare the\n"
+"                         serialized results; exit 3 on mismatch\n"
+"  --no-table             (sweep) skip the printed comparison table\n"
+"  --quiet                suppress per-job progress on stderr\n"
+"\n"
+"exit status: 0 ok, 1 usage error, 2 job failed, 3 non-deterministic\n");
+    return out == stderr ? 1 : 0;
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+struct Options
+{
+    std::string command;
+    std::vector<std::string> workloads;
+    std::vector<std::string> configs{"base"};
+    std::vector<std::uint64_t> seeds{1};
+    unsigned nodes = 16;
+    double scale = 1.0;
+    bool checker = false;
+    unsigned threads = 0;
+    bool threadsSet = false;
+    std::string jsonPath;
+    std::string csvPath;
+    bool deterministicCheck = false;
+    bool table = true;
+    bool quiet = false;
+    int figure = 0;   ///< 7, 9 or 10
+    int tableNum = 0; ///< 2
+};
+
+/** Fetch the value of --opt VALUE / --opt=VALUE; nullptr on error. */
+const char *
+argValue(int argc, char **argv, int &i, const char *inline_value)
+{
+    if (inline_value)
+        return inline_value;
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "pcsim: %s needs a value\n", argv[i]);
+        return nullptr;
+    }
+    return argv[++i];
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        const char *inline_value = nullptr;
+        const std::size_t eq = arg.find('=');
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-' &&
+            eq != std::string::npos) {
+            inline_value = argv[i] + eq + 1;
+            arg = arg.substr(0, eq);
+        }
+        // -jN shorthand.
+        if (arg.size() > 2 && arg.compare(0, 2, "-j") == 0 &&
+            arg[2] >= '0' && arg[2] <= '9') {
+            inline_value = argv[i] + 2;
+            arg = "-j";
+        }
+
+        const auto value = [&]() {
+            return argValue(argc, argv, i, inline_value);
+        };
+
+        if (arg == "--workload" || arg == "--workloads") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.workloads = splitList(v);
+        } else if (arg == "--config" || arg == "--configs") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.configs = splitList(v);
+        } else if (arg == "--seed" || arg == "--seeds") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.seeds.clear();
+            for (const auto &s : splitList(v))
+                opt.seeds.push_back(std::strtoull(s.c_str(), nullptr,
+                                                  10));
+            if (opt.seeds.empty())
+                opt.seeds.push_back(1);
+        } else if (arg == "--nodes") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.nodes = unsigned(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--scale") {
+            const char *v = value();
+            if (!v)
+                return false;
+            char *end = nullptr;
+            opt.scale = std::strtod(v, &end);
+            if (end == v || *end != '\0' || opt.scale <= 0) {
+                std::fprintf(stderr, "pcsim: bad --scale '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "-j" || arg == "--jobs") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.threads = unsigned(std::strtoul(v, nullptr, 10));
+            opt.threadsSet = true;
+        } else if (arg == "--json") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.jsonPath = v;
+        } else if (arg == "--csv") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.csvPath = v;
+        } else if (arg == "--figure") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.figure = int(std::strtol(v, nullptr, 10));
+        } else if (arg == "--table" && opt.command == "sweep" &&
+                   (inline_value || i + 1 < argc)) {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.tableNum = int(std::strtol(v, nullptr, 10));
+        } else if (arg == "--checker") {
+            opt.checker = true;
+        } else if (arg == "--deterministic-check") {
+            opt.deterministicCheck = true;
+        } else if (arg == "--no-table") {
+            opt.table = false;
+        } else if (arg == "--quiet" || arg == "-q") {
+            opt.quiet = true;
+        } else {
+            std::fprintf(stderr, "pcsim: unknown option '%s'\n",
+                         argv[i]);
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+listCommand()
+{
+    std::printf("workloads:\n");
+    for (const auto &w : runner::workloadNames())
+        std::printf("  %s\n", w.c_str());
+    std::printf("\nconfigurations (16-node presets, see "
+                "src/system/presets.hh):\n");
+    std::printf("  %-12s baseline directory protocol\n", "base");
+    std::printf("  %-12s base + 32K remote access cache (alias: "
+                "rac)\n",
+                "rac32k");
+    std::printf("  %-12s base + 1M remote access cache\n", "rac1m");
+    std::printf("  %-12s 32-entry deledc & 32K RAC (alias: pcopt)\n",
+                "small");
+    std::printf("  %-12s 1K-entry deledc & 1M RAC (alias: "
+                "pcopt-large)\n",
+                "large");
+    std::printf("  %-12s delegation without speculative updates\n",
+                "delegation");
+    return 0;
+}
+
+/**
+ * Serialize + write the requested outputs; returns the JSON doc.
+ * Sets io_ok to false when a requested output file could not be
+ * written (callers turn that into a nonzero exit).
+ */
+JsonValue
+emitResults(const std::vector<runner::JobResult> &results,
+            const Options &opt, bool &io_ok)
+{
+    JsonValue doc = runner::resultsToJson(results);
+    io_ok = true;
+    if (!opt.jsonPath.empty())
+        io_ok &= runner::writeTextFile(opt.jsonPath, doc.dump(2) + "\n");
+    if (!opt.csvPath.empty())
+        io_ok &= runner::writeTextFile(opt.csvPath,
+                                       runner::resultsToCsv(results));
+    return doc;
+}
+
+int
+failedCount(const std::vector<runner::JobResult> &results)
+{
+    int failed = 0;
+    for (const auto &r : results)
+        failed += r.ok ? 0 : 1;
+    return failed;
+}
+
+/**
+ * Run the set twice and byte-compare the serialized results.
+ * @return 0 when identical, 3 on mismatch.
+ */
+int
+deterministicCheck(const runner::JobSet &set,
+                   const runner::RunnerOptions &ropts)
+{
+    const std::string a =
+        runner::resultsToJson(runner::runJobs(set, ropts)).dump(2);
+    const std::string b =
+        runner::resultsToJson(runner::runJobs(set, ropts)).dump(2);
+    if (a == b) {
+        std::fprintf(stderr,
+                     "deterministic-check: OK (%zu jobs, %zu bytes "
+                     "identical)\n",
+                     set.size(), a.size());
+        return 0;
+    }
+    std::size_t off = 0;
+    while (off < a.size() && off < b.size() && a[off] == b[off])
+        ++off;
+    std::fprintf(stderr,
+                 "deterministic-check: MISMATCH at byte %zu "
+                 "(results differ between two identical runs)\n",
+                 off);
+    return 3;
+}
+
+int
+runCommand(const Options &opt)
+{
+    if (opt.workloads.empty()) {
+        std::fprintf(stderr,
+                     "pcsim run: --workload is required (try 'pcsim "
+                     "list')\n");
+        return 1;
+    }
+
+    runner::JobSet set;
+    for (const auto &w : opt.workloads) {
+        const std::string canonical = runner::canonicalWorkload(w);
+        if (canonical.empty()) {
+            std::fprintf(stderr, "pcsim: unknown workload '%s'\n",
+                         w.c_str());
+            return 1;
+        }
+        for (const auto &c : opt.configs) {
+            MachineConfig cfg;
+            std::string cname;
+            if (!runner::namedMachineConfig(c, opt.nodes, cfg,
+                                            cname)) {
+                std::fprintf(stderr, "pcsim: unknown config '%s'\n",
+                             c.c_str());
+                return 1;
+            }
+            cfg.proto.checkerEnabled = opt.checker;
+            for (std::uint64_t seed : opt.seeds) {
+                runner::Job j;
+                j.workload = canonical;
+                j.cfg = cfg;
+                j.configName = cname;
+                j.seed = seed;
+                j.scale = opt.scale;
+                set.add(std::move(j));
+            }
+        }
+    }
+
+    runner::RunnerOptions ropts;
+    ropts.threads = opt.threadsSet ? opt.threads : 1;
+    ropts.progress = !opt.quiet;
+
+    if (opt.deterministicCheck)
+        return deterministicCheck(set, ropts);
+
+    const auto results = runner::runJobs(set, ropts);
+    bool io_ok = true;
+    emitResults(results, opt, io_ok);
+
+    // Human summary unless JSON/CSV already went to stdout.
+    if (opt.jsonPath != "-" && opt.csvPath != "-") {
+        std::printf("%-24s | %-12s | %-12s | %-12s\n", "job", "cycles",
+                    "remote miss", "messages");
+        for (const auto &r : results) {
+            if (r.ok)
+                std::printf("%-24s | %-12llu | %-12llu | %-12llu\n",
+                            r.job.label.c_str(),
+                            (unsigned long long)r.result.cycles,
+                            (unsigned long long)
+                                r.result.nodes.remoteMisses,
+                            (unsigned long long)r.result.netMessages);
+            else
+                std::printf("%-24s | FAILED: %s\n",
+                            r.job.label.c_str(), r.error.c_str());
+        }
+    }
+    if (!io_ok)
+        return 1;
+    return failedCount(results) ? 2 : 0;
+}
+
+int
+sweepCommand(const Options &opt)
+{
+    runner::JobSet set;
+    std::string name;
+    void (*print)(const JsonValue &, std::FILE *) = nullptr;
+
+    if (opt.figure == 7) {
+        set = figures::figure7Jobs(opt.scale, opt.nodes);
+        print = figures::printFigure7;
+        name = "fig7";
+    } else if (opt.figure == 9) {
+        set = figures::figure9Jobs(opt.scale, opt.nodes);
+        print = figures::printFigure9;
+        name = "fig9";
+    } else if (opt.figure == 10) {
+        set = figures::figure10Jobs(opt.scale, opt.nodes);
+        print = figures::printFigure10;
+        name = "fig10";
+    } else if (opt.tableNum == 2) {
+        // Table 2 is static workload metadata; no simulations.
+        figures::printTable2(opt.scale, opt.nodes);
+        return 0;
+    } else {
+        std::fprintf(stderr,
+                     "pcsim sweep: pick --figure 7|9|10 or --table "
+                     "2\n");
+        return 1;
+    }
+
+    runner::RunnerOptions ropts;
+    ropts.threads = opt.threadsSet ? opt.threads : 0; // 0 = all cores
+    ropts.progress = !opt.quiet;
+
+    if (opt.deterministicCheck)
+        return deterministicCheck(set, ropts);
+
+    const auto results = runner::runJobs(set, ropts);
+
+    Options emit_opt = opt;
+    if (emit_opt.jsonPath.empty())
+        emit_opt.jsonPath = "pcsim-" + name + ".results.json";
+    bool io_ok = true;
+    JsonValue doc = emitResults(results, emit_opt, io_ok);
+
+    if (opt.table) {
+        // The table is a formatting layer over the serialized
+        // document: re-read the file we just wrote when there is one
+        // on disk, otherwise format the in-memory serialization.
+        if (emit_opt.jsonPath != "-") {
+            std::fprintf(stderr, "results: %s\n",
+                         emit_opt.jsonPath.c_str());
+            std::string text;
+            if (runner::readTextFile(emit_opt.jsonPath, text))
+                doc = JsonValue::parse(text);
+        }
+        print(doc, stdout);
+    }
+    if (!io_ok)
+        return 1;
+    return failedCount(results) ? 2 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(stderr);
+    const std::string cmd = argv[1];
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+        return usage(stdout);
+    if (cmd == "list")
+        return listCommand();
+
+    Options opt;
+    opt.command = cmd;
+    if (!parseArgs(argc, argv, opt))
+        return 1;
+
+    if (cmd == "run")
+        return runCommand(opt);
+    if (cmd == "sweep")
+        return sweepCommand(opt);
+
+    std::fprintf(stderr, "pcsim: unknown command '%s'\n", cmd.c_str());
+    return usage(stderr);
+}

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "src/runner/results.hh"
+#include "src/runner/runner.hh"
 #include "src/system/presets.hh"
 #include "src/system/system.hh"
 #include "src/workload/suite.hh"
@@ -28,13 +30,43 @@ namespace pcsim
 namespace bench
 {
 
-/** Benchmark scale factor (PCSIM_BENCH_SCALE, default 1.0). */
+/**
+ * Benchmark scale factor (PCSIM_BENCH_SCALE, default 1.0).
+ * Non-positive or unparseable values are rejected with a warning --
+ * silently accepting them would zero every scaled iteration count.
+ */
 inline double
 benchScale()
 {
-    if (const char *s = std::getenv("PCSIM_BENCH_SCALE"))
-        return std::atof(s);
+    if (const char *s = std::getenv("PCSIM_BENCH_SCALE")) {
+        char *end = nullptr;
+        const double v = std::strtod(s, &end);
+        if (end != s && *end == '\0' && std::isfinite(v) && v > 0.0)
+            return v;
+        std::fprintf(stderr,
+                     "pcsim-bench: ignoring invalid "
+                     "PCSIM_BENCH_SCALE='%s' (using 1.0)\n",
+                     s);
+    }
     return 1.0;
+}
+
+/** Worker threads for runner-based harnesses (PCSIM_BENCH_JOBS;
+ *  default 0 = one per hardware core). */
+inline unsigned
+benchJobs()
+{
+    if (const char *s = std::getenv("PCSIM_BENCH_JOBS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(s, &end, 10);
+        if (end != s && *end == '\0')
+            return static_cast<unsigned>(v);
+        std::fprintf(stderr,
+                     "pcsim-bench: ignoring invalid "
+                     "PCSIM_BENCH_JOBS='%s'\n",
+                     s);
+    }
+    return 0;
 }
 
 /** Run @p workload under @p cfg with the checker off (speed). */
@@ -43,6 +75,24 @@ run(MachineConfig cfg, Workload &wl, const std::string &name)
 {
     cfg.proto.checkerEnabled = false;
     return runWorkload(cfg, wl, name);
+}
+
+/**
+ * Execute a JobSet across the worker pool (PCSIM_BENCH_JOBS threads,
+ * default all cores) and return the serialized results document the
+ * table printers consume. PCSIM_BENCH_JSON=<path> additionally saves
+ * the document for EXPERIMENTS.md-style comparisons.
+ */
+inline JsonValue
+runToJson(const runner::JobSet &jobs)
+{
+    runner::RunnerOptions opts;
+    opts.threads = benchJobs();
+    const auto results = runner::runJobs(jobs, opts);
+    JsonValue doc = runner::resultsToJson(results);
+    if (const char *path = std::getenv("PCSIM_BENCH_JSON"))
+        runner::writeTextFile(path, doc.dump(2) + "\n");
+    return doc;
 }
 
 /** Geometric mean of speedups. */

@@ -1,9 +1,14 @@
 /** @file Figure 10 reproduction: sensitivity to network hop latency
  *  (Appbt, representative). Execution time for the baseline and the
  *  enhanced (32K RAC + 32-entry deledc) system as hop latency scales
- *  25 ns .. 200 ns, plus the resulting speedup. */
+ *  25 ns .. 200 ns, plus the resulting speedup.
+ *
+ *  Thin formatting layer over the runner's JSON results; equivalent
+ *  CLI: `pcsim sweep --figure 10 -j0`. */
 
 #include "bench/common.hh"
+
+#include "src/runner/figures.hh"
 
 using namespace pcsim;
 using namespace pcsim::bench;
@@ -15,35 +20,8 @@ main()
            "paper: execution time nearly doubles per latency "
            "doubling; speedup grows 24% -> 28% from 25 ns to 200 ns");
 
-    // 2 GHz core: 25/50/100/200 ns = 50/100/200/400 cycles.
-    const std::vector<std::pair<const char *, Tick>> hops = {
-        {"25ns", 50}, {"50ns", 100}, {"100ns", 200}, {"200ns", 400}};
-
-    std::printf("%-6s | %-14s | %-14s | %-8s\n", "hop",
-                "base cycles", "enhanced cycles", "speedup");
-    std::printf("-------+----------------+----------------+---------\n");
-
-    auto wl = makeWorkload("Appbt", 16, benchScale() * 0.5);
-    double prev_base = 0;
-    for (const auto &[label, cycles] : hops) {
-        MachineConfig base = presets::base(16);
-        base.net.hopLatency = cycles;
-        MachineConfig enh = presets::small(16);
-        enh.net.hopLatency = cycles;
-
-        RunResult rb = run(base, *wl, "base");
-        RunResult re = run(enh, *wl, "enh");
-        std::printf("%-6s | %-14llu | %-14llu | %-8.3f", label,
-                    (unsigned long long)rb.cycles,
-                    (unsigned long long)re.cycles,
-                    double(rb.cycles) / re.cycles);
-        if (prev_base > 0)
-            std::printf("   (base grew %.2fx)",
-                        rb.cycles / prev_base);
-        prev_base = double(rb.cycles);
-        std::printf("\n");
-    }
-    std::printf("\n(The mechanisms' value increases with remote "
-                "latency, as the paper observes.)\n");
+    const JsonValue doc =
+        runToJson(figures::figure10Jobs(benchScale()));
+    figures::printFigure10(doc);
     return 0;
 }

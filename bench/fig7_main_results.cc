@@ -1,31 +1,18 @@
 /** @file Figure 7 reproduction: application speedup, network
  *  messages and remote misses for the six machine configurations,
- *  all normalized to the baseline system. */
+ *  all normalized to the baseline system.
+ *
+ *  The sweep itself (7 apps x 6 configs) runs through the parallel
+ *  experiment runner; this binary is a thin formatting layer over the
+ *  JSON results (see src/runner/figures.hh). Equivalent CLI:
+ *  `pcsim sweep --figure 7 -j0`. */
 
 #include "bench/common.hh"
 
+#include "src/runner/figures.hh"
+
 using namespace pcsim;
 using namespace pcsim::bench;
-
-namespace
-{
-
-/** Paper speedups read off Figure 7 (approximate bar heights). */
-struct PaperRow
-{
-    const char *app;
-    double small;  ///< 32-entry deledc & 32K RAC
-    double large;  ///< 1K-entry deledc & 1M RAC
-};
-
-const PaperRow paperSpeedups[] = {
-    {"Barnes", 1.17, 1.23}, {"Ocean", 1.08, 1.11},
-    {"Em3D", 1.33, 1.40},   {"LU", 1.31, 1.40},
-    {"CG", 1.04, 1.06},     {"MG", 1.09, 1.22},
-    {"Appbt", 1.08, 1.24},
-};
-
-} // namespace
 
 int
 main()
@@ -34,80 +21,7 @@ main()
            "six configurations x seven applications, normalized to "
            "Base");
 
-    const auto configs = presets::figure7Configs(16);
-    const double scale = benchScale();
-
-    std::printf("speedup (paper small/large in brackets):\n");
-    std::printf("%-8s", "App");
-    for (const auto &c : configs)
-        std::printf(" | %-13.13s", c.name.c_str());
-    std::printf("\n");
-
-    std::vector<std::vector<Norm>> all;
-
-    for (std::size_t a = 0; a < suiteNames().size(); ++a) {
-        const std::string app = suiteNames()[a];
-        auto wl = makeWorkload(app, 16, scale);
-
-        RunResult base = run(configs[0].cfg, *wl, configs[0].name);
-        std::vector<Norm> norms;
-        norms.push_back({1.0, 1.0, 1.0});
-        for (std::size_t c = 1; c < configs.size(); ++c) {
-            RunResult r = run(configs[c].cfg, *wl, configs[c].name);
-            norms.push_back(normalize(base, r));
-        }
-        all.push_back(norms);
-
-        std::printf("%-8s", app.c_str());
-        for (const Norm &n : norms)
-            std::printf(" | %-13.3f", n.speedup);
-        std::printf("   [paper: %.2f / %.2f]\n",
-                    paperSpeedups[a].small, paperSpeedups[a].large);
-    }
-
-    std::printf("\nnetwork messages (normalized to Base):\n");
-    std::printf("%-8s", "App");
-    for (const auto &c : configs)
-        std::printf(" | %-13.13s", c.name.c_str());
-    std::printf("\n");
-    for (std::size_t a = 0; a < all.size(); ++a) {
-        std::printf("%-8s", suiteNames()[a].c_str());
-        for (const Norm &n : all[a])
-            std::printf(" | %-13.3f", n.messages);
-        std::printf("\n");
-    }
-
-    std::printf("\nremote misses (normalized to Base):\n");
-    std::printf("%-8s", "App");
-    for (const auto &c : configs)
-        std::printf(" | %-13.13s", c.name.c_str());
-    std::printf("\n");
-    for (std::size_t a = 0; a < all.size(); ++a) {
-        std::printf("%-8s", suiteNames()[a].c_str());
-        for (const Norm &n : all[a])
-            std::printf(" | %-13.3f", n.remote);
-        std::printf("\n");
-    }
-
-    // Headline aggregates (Section 3.2's summary paragraph).
-    std::vector<double> sp_small, sp_large, msg_small, msg_large,
-        rm_small, rm_large;
-    for (const auto &norms : all) {
-        sp_small.push_back(norms[2].speedup);
-        sp_large.push_back(norms[3].speedup);
-        msg_small.push_back(norms[2].messages);
-        msg_large.push_back(norms[3].messages);
-        rm_small.push_back(norms[2].remote);
-        rm_large.push_back(norms[3].remote);
-    }
-    std::printf("\nsummary (paper in brackets):\n");
-    std::printf("  small config: geomean speedup %.2f [1.13], traffic "
-                "%+.0f%% [-17%%], remote misses %+.0f%% [-29%%]\n",
-                geomean(sp_small), 100 * (mean(msg_small) - 1),
-                100 * (mean(rm_small) - 1));
-    std::printf("  large config: geomean speedup %.2f [1.21], traffic "
-                "%+.0f%% [-15%%], remote misses %+.0f%% [-40%%]\n",
-                geomean(sp_large), 100 * (mean(msg_large) - 1),
-                100 * (mean(rm_large) - 1));
+    const JsonValue doc = runToJson(figures::figure7Jobs(benchScale()));
+    figures::printFigure7(doc);
     return 0;
 }

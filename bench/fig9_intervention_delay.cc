@@ -1,8 +1,13 @@
 /** @file Figure 9 reproduction: sensitivity to the delayed
  *  intervention interval, 5 cycles .. 500M cycles and "Infinite",
- *  normalized to the 5-cycle configuration. */
+ *  normalized to the 5-cycle configuration.
+ *
+ *  Thin formatting layer over the runner's JSON results; equivalent
+ *  CLI: `pcsim sweep --figure 9 -j0`. */
 
 #include "bench/common.hh"
+
+#include "src/runner/figures.hh"
 
 using namespace pcsim;
 using namespace pcsim::bench;
@@ -14,38 +19,7 @@ main()
            "execution time normalized to a 5-cycle delay; paper "
            "shows a flat region 5..5K and degradation beyond");
 
-    const std::vector<std::pair<const char *, Tick>> delays = {
-        {"5", 5},         {"50", 50},       {"500", 500},
-        {"5K", 5000},     {"50K", 50000},   {"500K", 500000},
-        {"5M", 5000000},  {"Infinite", maxTick},
-    };
-
-    std::printf("%-8s", "App");
-    for (const auto &[label, d] : delays)
-        std::printf(" | %-8s", label);
-    std::printf("\n---------");
-    for (std::size_t i = 0; i < delays.size(); ++i)
-        std::printf("+----------");
-    std::printf("\n");
-
-    const double scale = benchScale() * 0.5;
-    for (const auto &app : suiteNames()) {
-        auto wl = makeWorkload(app, 16, scale);
-        std::vector<double> cycles;
-        for (const auto &[label, d] : delays) {
-            MachineConfig cfg = presets::large(16);
-            cfg.proto.interventionDelay = d;
-            RunResult r = run(cfg, *wl, label);
-            cycles.push_back(double(r.cycles));
-        }
-        std::printf("%-8s", app.c_str());
-        for (double c : cycles)
-            std::printf(" | %-8.3f", c / cycles[0]);
-        std::printf("\n");
-    }
-    std::printf("\n(>1.0 = slower than the 5-cycle delay. The paper "
-                "reports 50 cycles works well for all benchmarks: "
-                "long enough for write bursts, short enough for "
-                "updates to arrive before the consumers' reads.)\n");
+    const JsonValue doc = runToJson(figures::figure9Jobs(benchScale()));
+    figures::printFigure9(doc);
     return 0;
 }

@@ -1,6 +1,11 @@
-/** @file Table 2 reproduction: applications and data sets. */
+/** @file Table 2 reproduction: applications and data sets.
+ *  Formatting only -- the workload inventory comes from the runner's
+ *  registry; no simulation runs. Equivalent CLI:
+ *  `pcsim sweep --table 2`. */
 
 #include "bench/common.hh"
+
+#include "src/runner/figures.hh"
 
 using namespace pcsim;
 using namespace pcsim::bench;
@@ -11,22 +16,6 @@ main()
     header("Table 2: Applications and data sets",
            "paper problem sizes vs this repo's scaled sizes");
 
-    std::printf("%-8s | %-42s | %s\n", "App", "Paper problem size",
-                "Scaled (this repo)");
-    std::printf("---------+-------------------------------------------"
-                "-+---------------------------\n");
-    for (const auto &name : suiteNames()) {
-        auto w = makeWorkload(name, 16, benchScale());
-        std::printf("%-8s | %-42s | %s\n", name.c_str(),
-                    w->paperProblemSize().c_str(),
-                    w->scaledProblemSize().c_str());
-    }
-    std::printf("\nTrace volumes (parallel phase, all 16 CPUs):\n");
-    for (const auto &name : suiteNames()) {
-        auto w = makeWorkload(name, 16, benchScale());
-        auto *t = static_cast<TraceWorkload *>(w.get());
-        std::printf("  %-8s %10zu operations\n", name.c_str(),
-                    t->totalOps());
-    }
+    figures::printTable2(benchScale());
     return 0;
 }

@@ -673,7 +673,9 @@ ProtocolModel::applyAtHome(State t, unsigned src, const MMsg &m,
 }
 
 void
-ProtocolModel::applyAtNode(State t, unsigned dst, unsigned src,
+ProtocolModel::applyAtNode(State t, unsigned dst,
+                           unsigned /* src: senders identify
+                                      themselves via m.requester */,
                            const MMsg &m,
                            std::vector<State> &out) const
 {

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Paper figure/table sweeps as JobSets, plus the printed comparison
+ * tables as thin formatters over the serialized JSON results.
+ *
+ * The bench/ reproduction binaries and the pcsim CLI share these: a
+ * sweep is defined once (jobs + per-figure scale conventions), run
+ * through the parallel runner, serialized with resultsToJson(), and
+ * the table printers consume that JSON document -- so the printed
+ * comparison and any saved results file can never disagree.
+ */
+
+#ifndef PCSIM_RUNNER_FIGURES_HH
+#define PCSIM_RUNNER_FIGURES_HH
+
+#include <cstdio>
+
+#include "src/runner/job.hh"
+#include "src/sim/json.hh"
+
+namespace pcsim
+{
+namespace figures
+{
+
+/** Figure 7: seven applications x six machine configurations.
+ *  @param bench_scale overall bench scale (PCSIM_BENCH_SCALE). */
+runner::JobSet figure7Jobs(double bench_scale = 1.0,
+                           unsigned num_nodes = 16);
+
+/** Figure 9: seven applications x eight intervention-delay settings
+ *  on the large configuration (runs at half bench scale, as the
+ *  original harness did). */
+runner::JobSet figure9Jobs(double bench_scale = 1.0,
+                           unsigned num_nodes = 16);
+
+/** Figure 10: Appbt on base + enhanced systems across four network
+ *  hop latencies (half bench scale). */
+runner::JobSet figure10Jobs(double bench_scale = 1.0,
+                            unsigned num_nodes = 16);
+
+/** Print the Figure 7 speedup / traffic / remote-miss tables and the
+ *  Section 3.2 summary from a resultsToJson() document. */
+void printFigure7(const JsonValue &doc, std::FILE *out = stdout);
+
+/** Print the Figure 9 normalized execution-time table. */
+void printFigure9(const JsonValue &doc, std::FILE *out = stdout);
+
+/** Print the Figure 10 hop-latency sensitivity table. */
+void printFigure10(const JsonValue &doc, std::FILE *out = stdout);
+
+/** Print Table 2 (problem sizes and trace volumes). Table 2 needs no
+ *  simulation -- it instantiates the suite through the runner's
+ *  workload registry and reports sizes. */
+void printTable2(double bench_scale = 1.0, unsigned num_nodes = 16,
+                 std::FILE *out = stdout);
+
+} // namespace figures
+} // namespace pcsim
+
+#endif // PCSIM_RUNNER_FIGURES_HH

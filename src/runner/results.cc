@@ -1,0 +1,242 @@
+#include "src/runner/results.hh"
+
+#include <cstdio>
+
+#include "src/sim/logging.hh"
+
+namespace pcsim
+{
+namespace runner
+{
+
+/** Every NodeStats counter, in declaration order. Serialization and
+ *  deserialization both expand this list, so they cannot drift. */
+#define PCSIM_NODE_STATS_FIELDS(X)                                        \
+    X(reads)                                                              \
+    X(writes)                                                             \
+    X(l1Hits)                                                             \
+    X(l2Hits)                                                             \
+    X(localMisses)                                                        \
+    X(remoteMisses)                                                       \
+    X(racHits)                                                            \
+    X(twoHopMisses)                                                       \
+    X(threeHopMisses)                                                     \
+    X(nacksReceived)                                                      \
+    X(retries)                                                            \
+    X(homeRequests)                                                       \
+    X(nacksSent)                                                          \
+    X(interventionsSent)                                                  \
+    X(dirCacheHits)                                                       \
+    X(dirCacheMisses)                                                     \
+    X(delegationsGranted)                                                 \
+    X(delegationsReceived)                                                \
+    X(undelegationsCapacity)                                              \
+    X(undelegationsFlush)                                                 \
+    X(undelegationsConflict)                                              \
+    X(forwardedRequests)                                                  \
+    X(delegatedLocalOps)                                                  \
+    X(delayedInterventions)                                               \
+    X(updatesSent)                                                        \
+    X(updatesReceived)                                                    \
+    X(updatesConsumed)                                                    \
+    X(updatesDropped)                                                     \
+    X(extraWriteMisses)                                                   \
+    X(writebacks)
+
+JsonValue
+toJson(const RunResult &r)
+{
+    JsonValue v = JsonValue::object();
+    v["workload"] = JsonValue(r.workload);
+    v["config"] = JsonValue(r.config);
+    v["cycles"] = JsonValue(r.cycles);
+    v["netMessages"] = JsonValue(r.netMessages);
+    v["netBytes"] = JsonValue(r.netBytes);
+    v["nackMessages"] = JsonValue(r.nackMessages);
+    v["updateMessages"] = JsonValue(r.updateMessages);
+
+    JsonValue nodes = JsonValue::object();
+#define X(field) nodes[#field] = JsonValue(r.nodes.field);
+    PCSIM_NODE_STATS_FIELDS(X)
+#undef X
+    v["nodes"] = std::move(nodes);
+
+    JsonValue hist = JsonValue::object();
+    hist["total"] = JsonValue(r.consumerHist.total());
+    JsonValue buckets = JsonValue::array();
+    for (std::size_t i = 0; i < r.consumerHist.numBuckets(); ++i)
+        buckets.push(JsonValue(r.consumerHist.bucket(i)));
+    hist["buckets"] = std::move(buckets);
+    v["consumerHist"] = std::move(hist);
+    return v;
+}
+
+RunResult
+runResultFromJson(const JsonValue &v)
+{
+    RunResult r;
+    r.workload = v.at("workload").asString();
+    r.config = v.at("config").asString();
+    r.cycles = v.at("cycles").asUInt();
+    r.netMessages = v.at("netMessages").asUInt();
+    r.netBytes = v.at("netBytes").asUInt();
+    r.nackMessages = v.at("nackMessages").asUInt();
+    r.updateMessages = v.at("updateMessages").asUInt();
+
+    const JsonValue &nodes = v.at("nodes");
+#define X(field) r.nodes.field = nodes.at(#field).asUInt();
+    PCSIM_NODE_STATS_FIELDS(X)
+#undef X
+
+    const JsonValue &buckets = v.at("consumerHist").at("buckets");
+    std::vector<std::uint64_t> counts;
+    counts.reserve(buckets.size());
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        counts.push_back(buckets.at(i).asUInt());
+    r.consumerHist.assign(std::move(counts));
+    return r;
+}
+
+JsonValue
+toJson(const JobResult &jr)
+{
+    JsonValue v = toJson(jr.result);
+    // The job spec is authoritative for identity fields: a failed job
+    // has an empty RunResult but still reports what was asked for.
+    v["workload"] = JsonValue(jr.job.workload);
+    v["config"] = JsonValue(jr.job.configName);
+    v["label"] = JsonValue(jr.job.label);
+    v["seed"] = JsonValue(jr.job.seed);
+    v["scale"] = JsonValue(jr.job.scale);
+    v["ok"] = JsonValue(jr.ok);
+    v["error"] = JsonValue(jr.error);
+    return v;
+}
+
+JsonValue
+resultsToJson(const std::vector<JobResult> &results)
+{
+    JsonValue doc = JsonValue::object();
+    doc["schemaVersion"] = JsonValue(std::uint64_t(1));
+    doc["generator"] = JsonValue("pcsim");
+    JsonValue arr = JsonValue::array();
+    for (const auto &r : results)
+        arr.push(toJson(r));
+    doc["results"] = std::move(arr);
+    return doc;
+}
+
+namespace
+{
+
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+resultsToCsv(const std::vector<JobResult> &results)
+{
+    std::string out = "workload,config,label,seed,scale,ok,error,"
+                      "cycles,netMessages,netBytes,nackMessages,"
+                      "updateMessages";
+#define X(field) out += ",nodes." #field;
+    PCSIM_NODE_STATS_FIELDS(X)
+#undef X
+    out += '\n';
+
+    const auto num = [](std::uint64_t v) {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      (unsigned long long)v);
+        return std::string(buf);
+    };
+    for (const auto &jr : results) {
+        char scale_str[32];
+        std::snprintf(scale_str, sizeof(scale_str), "%g",
+                      jr.job.scale);
+        out += csvField(jr.job.workload) + ',' +
+               csvField(jr.job.configName) + ',' +
+               csvField(jr.job.label) + ',' + num(jr.job.seed) + ',' +
+               scale_str + ',' + (jr.ok ? "1" : "0") + ',' +
+               csvField(jr.error) + ',' + num(jr.result.cycles) + ',' +
+               num(jr.result.netMessages) + ',' +
+               num(jr.result.netBytes) + ',' +
+               num(jr.result.nackMessages) + ',' +
+               num(jr.result.updateMessages);
+#define X(field) out += ',' + num(jr.result.nodes.field);
+        PCSIM_NODE_STATS_FIELDS(X)
+#undef X
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    if (path == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot write '%s'", path.c_str());
+        return false;
+    }
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+                    text.size();
+    std::fclose(f);
+    if (!ok)
+        warn("short write to '%s'", path.c_str());
+    return ok;
+}
+
+bool
+readTextFile(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    out.clear();
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+const JsonValue *
+findResult(const JsonValue &doc, const std::string &workload,
+           const std::string &config)
+{
+    const JsonValue *arr = doc.find("results");
+    if (!arr || !arr->isArray())
+        return nullptr;
+    for (std::size_t i = 0; i < arr->size(); ++i) {
+        const JsonValue &e = arr->at(i);
+        const JsonValue *w = e.find("workload");
+        const JsonValue *c = e.find("config");
+        if (w && c && w->isString() && c->isString() &&
+            w->asString() == workload && c->asString() == config)
+            return &e;
+    }
+    return nullptr;
+}
+
+} // namespace runner
+} // namespace pcsim

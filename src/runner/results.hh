@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Structured result serialization: JobResult / RunResult to JSON and
+ * CSV, plus lookup helpers for table formatters that consume the JSON
+ * document instead of scraping stdout.
+ *
+ * JSON schema (schemaVersion 1):
+ *
+ *   {
+ *     "schemaVersion": 1,
+ *     "generator": "pcsim",
+ *     "results": [
+ *       {
+ *         "workload": "Em3D", "config": "Base", "label": "Em3D/Base",
+ *         "seed": 1, "scale": 1.0, "ok": true, "error": "",
+ *         "cycles": 123456,
+ *         "netMessages": N, "netBytes": N,
+ *         "nackMessages": N, "updateMessages": N,
+ *         "nodes": { "reads": N, "writes": N, ... },   // NodeStats
+ *         "consumerHist": { "total": N, "buckets": [N, ...] }
+ *       }, ...
+ *     ]
+ *   }
+ *
+ * Wall-clock timing is deliberately excluded so the document is
+ * byte-identical across thread counts and hosts (determinism checks
+ * diff the serialized form).
+ */
+
+#ifndef PCSIM_RUNNER_RESULTS_HH
+#define PCSIM_RUNNER_RESULTS_HH
+
+#include <string>
+#include <vector>
+
+#include "src/runner/runner.hh"
+#include "src/sim/json.hh"
+#include "src/system/system.hh"
+
+namespace pcsim
+{
+namespace runner
+{
+
+/** Serialize one run's statistics (without job metadata). */
+JsonValue toJson(const RunResult &r);
+
+/** Rebuild a RunResult from toJson() output.
+ *  @throws std::out_of_range / std::logic_error on schema mismatch. */
+RunResult runResultFromJson(const JsonValue &v);
+
+/** Serialize one job outcome (spec + statistics). */
+JsonValue toJson(const JobResult &r);
+
+/** Serialize a whole result set as a schema-versioned document. */
+JsonValue resultsToJson(const std::vector<JobResult> &results);
+
+/** Flat CSV: one row per job, fixed column order, RFC-4180 quoting. */
+std::string resultsToCsv(const std::vector<JobResult> &results);
+
+/** Write @p text to @p path; "-" writes to stdout.
+ *  @return false (with a warning) if the file cannot be written. */
+bool writeTextFile(const std::string &path, const std::string &text);
+
+/** Read a whole file into @p out; @return false when unreadable. */
+bool readTextFile(const std::string &path, std::string &out);
+
+/** Find the result entry for (workload, config) in a document
+ *  produced by resultsToJson(); nullptr when absent. */
+const JsonValue *findResult(const JsonValue &doc,
+                            const std::string &workload,
+                            const std::string &config);
+
+} // namespace runner
+} // namespace pcsim
+
+#endif // PCSIM_RUNNER_RESULTS_HH

@@ -79,8 +79,9 @@ TEST(ProtocolRaces, ReadersRaceWriter)
     // Everyone who holds a copy holds the current version.
     for (unsigned c : {1u, 2u, 3u, 4u, 9u}) {
         Version v;
-        if (h.sys.hub(c).l2State(a, v) != LineState::Invalid)
+        if (h.sys.hub(c).l2State(a, v) != LineState::Invalid) {
             EXPECT_EQ(v, 2u) << "cpu " << c;
+        }
     }
 }
 
