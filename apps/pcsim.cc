@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/runner/bench.hh"
 #include "src/runner/figures.hh"
 #include "src/runner/job.hh"
 #include "src/runner/results.hh"
@@ -40,6 +41,7 @@ usage(std::FILE *out)
 "usage:\n"
 "  pcsim run   --workload <names> [--config <names>] [options]\n"
 "  pcsim sweep (--figure 7|9|10 | --table 2) [options]\n"
+"  pcsim bench [--json PATH] [--baseline PATH] [options]\n"
 "  pcsim list             list workloads and configuration presets\n"
 "  pcsim help             show this text\n"
 "\n"
@@ -52,11 +54,21 @@ usage(std::FILE *out)
 "  --scale F              workload scale factor (default: 1)\n"
 "  --checker              enable the coherence invariant checker\n"
 "\n"
+"bench options:\n"
+"  --events N             events per kernel microbenchmark\n"
+"                         (default: 2000000)\n"
+"  --repeats N            repeats per benchmark, best wall time\n"
+"                         reported (default: 3)\n"
+"  --baseline PATH        prior bench JSON; adds per-benchmark\n"
+"                         speedup columns\n"
+"\n"
 "common options:\n"
 "  -j N, --jobs N         worker threads; 0 = all cores\n"
 "                         (default: 1 for run, all cores for sweep)\n"
 "  --json PATH            write JSON results; '-' = stdout\n"
 "  --csv PATH             write CSV results; '-' = stdout\n"
+"  --timing               include host wall-clock perf rates in the\n"
+"                         outputs (breaks cross-host byte identity)\n"
 "  --deterministic-check  run every job twice, byte-compare the\n"
 "                         serialized results; exit 3 on mismatch\n"
 "  --no-table             (sweep) skip the printed comparison table\n"
@@ -95,11 +107,17 @@ struct Options
     bool threadsSet = false;
     std::string jsonPath;
     std::string csvPath;
+    bool timing = false;
     bool deterministicCheck = false;
     bool table = true;
     bool quiet = false;
     int figure = 0;   ///< 7, 9 or 10
     int tableNum = 0; ///< 2
+
+    // bench
+    std::uint64_t benchEvents = 2000000;
+    unsigned benchRepeats = 3;
+    std::string baselinePath;
 };
 
 /** Fetch the value of --opt VALUE / --opt=VALUE; nullptr on error. */
@@ -200,6 +218,32 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.tableNum = int(std::strtol(v, nullptr, 10));
+        } else if (arg == "--events") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.benchEvents = std::strtoull(v, nullptr, 10);
+            if (opt.benchEvents == 0) {
+                std::fprintf(stderr, "pcsim: bad --events '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "--repeats") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.benchRepeats =
+                unsigned(std::strtoul(v, nullptr, 10));
+            if (opt.benchRepeats == 0) {
+                std::fprintf(stderr, "pcsim: bad --repeats '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "--baseline") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.baselinePath = v;
+        } else if (arg == "--timing") {
+            opt.timing = true;
         } else if (arg == "--checker") {
             opt.checker = true;
         } else if (arg == "--deterministic-check") {
@@ -249,13 +293,13 @@ JsonValue
 emitResults(const std::vector<runner::JobResult> &results,
             const Options &opt, bool &io_ok)
 {
-    JsonValue doc = runner::resultsToJson(results);
+    JsonValue doc = runner::resultsToJson(results, opt.timing);
     io_ok = true;
     if (!opt.jsonPath.empty())
         io_ok &= runner::writeTextFile(opt.jsonPath, doc.dump(2) + "\n");
     if (!opt.csvPath.empty())
-        io_ok &= runner::writeTextFile(opt.csvPath,
-                                       runner::resultsToCsv(results));
+        io_ok &= runner::writeTextFile(
+            opt.csvPath, runner::resultsToCsv(results, opt.timing));
     return doc;
 }
 
@@ -276,10 +320,16 @@ int
 deterministicCheck(const runner::JobSet &set,
                    const runner::RunnerOptions &ropts)
 {
+    // Serialize without host timing: wall-clock rates differ between
+    // two otherwise identical runs.
     const std::string a =
-        runner::resultsToJson(runner::runJobs(set, ropts)).dump(2);
+        runner::resultsToJson(runner::runJobs(set, ropts),
+                              /*with_timing=*/false)
+            .dump(2);
     const std::string b =
-        runner::resultsToJson(runner::runJobs(set, ropts)).dump(2);
+        runner::resultsToJson(runner::runJobs(set, ropts),
+                              /*with_timing=*/false)
+            .dump(2);
     if (a == b) {
         std::fprintf(stderr,
                      "deterministic-check: OK (%zu jobs, %zu bytes "
@@ -455,6 +505,15 @@ main(int argc, char **argv)
         return runCommand(opt);
     if (cmd == "sweep")
         return sweepCommand(opt);
+    if (cmd == "bench") {
+        runner::BenchOptions bopt;
+        bopt.kernelEvents = opt.benchEvents;
+        bopt.repeats = opt.benchRepeats;
+        bopt.jsonPath = opt.jsonPath;
+        bopt.baselinePath = opt.baselinePath;
+        bopt.quiet = opt.quiet;
+        return runner::runBenchSuite(bopt);
+    }
 
     std::fprintf(stderr, "pcsim: unknown command '%s'\n", cmd.c_str());
     return usage(stderr);

@@ -91,6 +91,21 @@ struct DirCacheEntry
 class DirectoryStore
 {
   public:
+    /**
+     * @param expected_lines sizing hint: lines this home is expected
+     *        to own over a run. The bucket array is pre-reserved (a
+     *        few bytes per bucket -- entries themselves still allocate
+     *        on first touch) and the load factor capped, so the table
+     *        never rehashes mid-run and pollutes the kernel telemetry
+     *        with reallocation pauses.
+     */
+    explicit DirectoryStore(std::size_t expected_lines = 0)
+    {
+        _entries.max_load_factor(0.7f);
+        if (expected_lines)
+            _entries.reserve(expected_lines);
+    }
+
     /** Fetch (creating Unowned on first touch). */
     DirEntry &
     lookup(Addr line)

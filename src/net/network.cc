@@ -28,8 +28,17 @@ Network::registerHandler(NodeId node, MessageHandler *handler)
 }
 
 void
-Network::send(Message msg)
+Network::send(const Message &msg)
 {
+    Message *pm = _msgPool.acquire();
+    *pm = msg;
+    sendAcquired(pm);
+}
+
+void
+Network::sendAcquired(Message *pm)
+{
+    Message &msg = *pm;
     if (msg.src >= _handlers.size() || msg.dst >= _handlers.size())
         panic("send: bad endpoints %u -> %u", msg.src, msg.dst);
     MessageHandler *handler = _handlers[msg.dst];
@@ -72,8 +81,9 @@ Network::send(Message msg)
     PCSIM_DPRINTF(DebugNet, now, "net: %s deliver@%llu",
                   msg.toString().c_str(), (unsigned long long)deliver);
 
-    _eq.schedule(deliver, [handler, msg]() {
-        handler->handleMessage(msg);
+    _eq.schedule(deliver, [this, handler, pm]() {
+        handler->handleMessage(*pm);
+        _msgPool.release(pm);
     });
 }
 

@@ -24,6 +24,7 @@
 #include "src/net/message.hh"
 #include "src/net/topology.hh"
 #include "src/sim/event_queue.hh"
+#include "src/sim/pool.hh"
 #include "src/sim/stats.hh"
 #include "src/sim/types.hh"
 
@@ -54,7 +55,29 @@ class Network : public SimObject
     void registerHandler(NodeId node, MessageHandler *handler);
 
     /** Inject @p msg; it will be delivered to msg.dst's handler. */
-    void send(Message msg);
+    void send(const Message &msg);
+
+    /** @name Pooled injection path
+     *
+     * Senders that build a message for immediate or deferred injection
+     * can acquire pooled storage, fill it in place, and hand it back
+     * via sendAcquired(). The delivery closure then captures only a
+     * pointer (24 bytes instead of a 64-byte Message copy) and the
+     * storage is recycled after the handler runs.
+     */
+    /// @{
+    Message *acquireMessage() { return _msgPool.acquire(); }
+    void releaseMessage(Message *pm) { _msgPool.release(pm); }
+    /** Inject a message previously obtained from acquireMessage().
+     *  Ownership passes to the network; storage is recycled after
+     *  delivery. */
+    void sendAcquired(Message *pm);
+    /// @}
+
+    const Pool<Message>::Stats &poolStats() const
+    {
+        return _msgPool.stats();
+    }
 
     const FatTreeTopology &topology() const { return _topo; }
     const NetworkConfig &config() const { return _cfg; }
@@ -89,6 +112,9 @@ class Network : public SimObject
     std::uint64_t _numLocal = 0;
     std::vector<std::uint64_t> _perType;
     Histogram _hopHist;
+
+    /** Recycled storage for in-flight messages. */
+    Pool<Message> _msgPool;
 };
 
 } // namespace pcsim

@@ -499,9 +499,7 @@ CacheController::handleIntervention(const Message &msg)
         ack.addr = line;
         ack.dst = msg.requester;
         ack.txnId = msg.txnId;
-        _hub.eventQueue().scheduleIn(_cfg.hubLatency, [this, ack]() {
-            _hub.send(ack);
-        });
+        _hub.sendIn(_cfg.hubLatency, ack);
         break;
       }
 
@@ -532,11 +530,8 @@ CacheController::handleIntervention(const Message &msg)
             Message to_home = data;
             to_home.type = MsgType::SharedWriteback;
             to_home.dst = msg.src;
-            _hub.eventQueue().scheduleIn(lat, [this, to_req,
-                                               to_home]() {
-                _hub.send(to_req);
-                _hub.send(to_home);
-            });
+            _hub.sendIn(lat, to_req);
+            _hub.sendIn(lat, to_home);
         } else {
             // Writeback race: the line already left (WritebackM is in
             // flight and, by point-to-point ordering, will reach the
@@ -576,11 +571,8 @@ CacheController::handleIntervention(const Message &msg)
             to_home.type = MsgType::TransferAck;
             to_home.addr = line;
             to_home.dst = msg.src;
-            _hub.eventQueue().scheduleIn(lat, [this, to_req,
-                                               to_home]() {
-                _hub.send(to_req);
-                _hub.send(to_home);
-            });
+            _hub.sendIn(lat, to_req);
+            _hub.sendIn(lat, to_home);
         } else {
             Message nack;
             nack.type = MsgType::IntervNack;

@@ -11,6 +11,7 @@ namespace pcsim
 DirController::DirController(Hub &hub, Rng rng)
     : _hub(hub),
       _cfg(hub.cfg()),
+      _store(_cfg.dirReserveLines),
       _dirCache(_cfg.dirCache, _store, rng.fork()),
       _dram(_cfg.dram),
       _rng(rng.fork())
@@ -64,9 +65,7 @@ DirController::sendNack(const Message &msg, Tick ready)
     nack.addr = msg.addr;
     nack.dst = msg.requester;
     nack.txnId = msg.txnId;
-    _hub.eventQueue().schedule(ready, [this, nack]() {
-        _hub.send(nack);
-    });
+    _hub.sendAt(ready, nack);
 }
 
 void
@@ -109,10 +108,7 @@ DirController::handleRead(const Message &msg, DirCacheEntry &e,
         resp.dst = req;
         resp.version = d.memVersion;
         resp.txnId = msg.txnId;
-        const Tick when = withMemData(ready);
-        _hub.eventQueue().schedule(when, [this, resp]() {
-            _hub.send(resp);
-        });
+        _hub.sendAt(withMemData(ready), resp);
         break;
       }
 
@@ -135,9 +131,7 @@ DirController::handleRead(const Message &msg, DirCacheEntry &e,
         iv.dst = d.pendingOwner;
         iv.requester = req;
         iv.txnId = msg.txnId;
-        _hub.eventQueue().schedule(ready, [this, iv]() {
-            _hub.send(iv);
-        });
+        _hub.sendAt(ready, iv);
         break;
       }
 
@@ -188,10 +182,7 @@ DirController::handleWrite(const Message &msg, DirCacheEntry &e,
         resp.version = d.memVersion;
         resp.ackCount = 0;
         resp.txnId = msg.txnId;
-        const Tick when = withMemData(ready);
-        _hub.eventQueue().schedule(when, [this, resp]() {
-            _hub.send(resp);
-        });
+        _hub.sendAt(withMemData(ready), resp);
         break;
       }
 
@@ -221,9 +212,7 @@ DirController::handleWrite(const Message &msg, DirCacheEntry &e,
             // Carry the superseded epoch so late speculative updates
             // for older epochs can be recognized and dropped.
             iv.version = d.memVersion;
-            _hub.eventQueue().schedule(ready, [this, iv]() {
-                _hub.send(iv);
-            });
+            _hub.sendAt(ready, iv);
         }
         d.state = DirState::Excl;
         d.owner = req;
@@ -242,9 +231,7 @@ DirController::handleWrite(const Message &msg, DirCacheEntry &e,
             resp.version = d.memVersion;
             when = withMemData(ready);
         }
-        _hub.eventQueue().schedule(when, [this, resp]() {
-            _hub.send(resp);
-        });
+        _hub.sendAt(when, resp);
         break;
       }
 
@@ -265,9 +252,7 @@ DirController::handleWrite(const Message &msg, DirCacheEntry &e,
         iv.dst = d.pendingOwner;
         iv.requester = req;
         iv.txnId = msg.txnId;
-        _hub.eventQueue().schedule(ready, [this, iv]() {
-            _hub.send(iv);
-        });
+        _hub.sendAt(ready, iv);
         break;
       }
 
@@ -308,10 +293,7 @@ DirController::delegate(Addr line, NodeId producer, DirCacheEntry &e,
     // the producer-consumer working set exceeds the producer table.
     e.detector.reset();
 
-    const Tick when = withMemData(ready);
-    _hub.eventQueue().schedule(when, [this, del]() {
-        _hub.send(del);
-    });
+    _hub.sendAt(withMemData(ready), del);
 }
 
 void
@@ -339,10 +321,11 @@ DirController::forwardToDelegate(const Message &msg, DirCacheEntry &e,
     hint.dst = msg.requester;
     hint.hintHome = producer;
 
-    _hub.eventQueue().schedule(ready, [this, fwd, hint]() {
-        _hub.send(fwd);
-        _hub.send(hint);
-    });
+    // Two back-to-back pooled sends: scheduled consecutively, they
+    // execute in order at `ready` with no same-tick event between
+    // them, exactly like the former single two-send closure.
+    _hub.sendAt(ready, fwd);
+    _hub.sendAt(ready, hint);
 }
 
 void
@@ -394,9 +377,7 @@ DirController::handleWriteback(const Message &msg)
         panic("writeback in dir state %s", dirStateName(d.state));
     }
 
-    _hub.eventQueue().schedule(ready, [this, ack]() {
-        _hub.send(ack);
-    });
+    _hub.sendAt(ready, ack);
 }
 
 void
@@ -472,9 +453,7 @@ DirController::handleIntervNack(const Message &msg)
         d.pendingWb = false;
         d.pendingReq = invalidNode;
         d.pendingOwner = invalidNode;
-        _hub.eventQueue().schedule(ready, [this, resp]() {
-            _hub.send(resp);
-        });
+        _hub.sendAt(ready, resp);
         return;
     }
 
@@ -496,9 +475,7 @@ DirController::handleIntervNack(const Message &msg)
     d.pendingReq = invalidNode;
     d.pendingOwner = invalidNode;
 
-    _hub.eventQueue().schedule(ready, [this, nack]() {
-        _hub.send(nack);
-    });
+    _hub.sendAt(ready, nack);
 }
 
 void

@@ -43,10 +43,21 @@ Hub::cpuAccess(bool is_write, Addr addr, AccessCallback done)
 }
 
 void
-Hub::send(Message msg)
+Hub::send(const Message &msg)
 {
-    msg.src = _id;
-    _net.send(msg);
+    Message *pm = _net.acquireMessage();
+    *pm = msg;
+    pm->src = _id;
+    _net.sendAcquired(pm);
+}
+
+void
+Hub::sendAt(Tick when, const Message &msg)
+{
+    Message *pm = _net.acquireMessage();
+    *pm = msg;
+    pm->src = _id;
+    _eq.schedule(when, [this, pm]() { _net.sendAcquired(pm); });
 }
 
 void

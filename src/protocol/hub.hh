@@ -90,7 +90,20 @@ class Hub : public SimObject,
     void cpuAccess(bool is_write, Addr addr, AccessCallback done);
 
     /** Convenience sender: stamps src with this node's id. */
-    void send(Message msg);
+    void send(const Message &msg);
+
+    /** Deferred sender: inject a copy of @p msg (src stamped with this
+     *  node's id) at absolute tick @p when. The copy lives in the
+     *  network's message pool, so the timer closure captures just two
+     *  pointers and schedules without heap allocation. */
+    void sendAt(Tick when, const Message &msg);
+
+    /** Deferred sender, @p delta ticks from now. */
+    void
+    sendIn(Tick delta, const Message &msg)
+    {
+        sendAt(curTick() + delta, msg);
+    }
 
     /** Line-align an address at coherence granularity. */
     Addr lineOf(Addr a) const { return a - (a % _cfg.lineBytes); }

@@ -257,9 +257,7 @@ ProducerController::serveRemoteRead(const Message &msg, ProducerEntry &e)
     resp.dst = req;
     resp.version = e.dir.memVersion;
     resp.txnId = msg.txnId;
-    _hub.eventQueue().scheduleIn(_cfg.hubLatency, [this, resp]() {
-        _hub.send(resp);
-    });
+    _hub.sendIn(_cfg.hubLatency, resp);
 }
 
 void
@@ -343,9 +341,7 @@ ProducerController::completeEpoch(Addr line, ProducerEntry &e,
         up.addr = line;
         up.dst = n;
         up.version = version;
-        _hub.eventQueue().scheduleIn(_cfg.busLatency, [this, up]() {
-            _hub.send(up);
-        });
+        _hub.sendIn(_cfg.busLatency, up);
     }
 }
 

@@ -43,8 +43,22 @@ namespace runner
     X(extraWriteMisses)                                                   \
     X(writebacks)
 
+/** Deterministic RunPerf counters (the timing trio is handled apart
+ *  because it is host-dependent and gated by with_timing). */
+#define PCSIM_RUN_PERF_FIELDS(X)                                          \
+    X(eventsExecuted)                                                     \
+    X(eventsScheduled)                                                    \
+    X(peakQueueDepth)                                                     \
+    X(inlineCallbacks)                                                    \
+    X(heapCallbacks)                                                      \
+    X(overflowEvents)                                                     \
+    X(windowAdvances)                                                     \
+    X(poolAcquires)                                                       \
+    X(poolReuses)                                                         \
+    X(simTicks)
+
 JsonValue
-toJson(const RunResult &r)
+toJson(const RunResult &r, bool with_timing)
 {
     JsonValue v = JsonValue::object();
     v["workload"] = JsonValue(r.workload);
@@ -68,6 +82,17 @@ toJson(const RunResult &r)
         buckets.push(JsonValue(r.consumerHist.bucket(i)));
     hist["buckets"] = std::move(buckets);
     v["consumerHist"] = std::move(hist);
+
+    JsonValue perf = JsonValue::object();
+#define X(field) perf[#field] = JsonValue(r.perf.field);
+    PCSIM_RUN_PERF_FIELDS(X)
+#undef X
+    if (with_timing) {
+        perf["wallSeconds"] = JsonValue(r.perf.wallSeconds);
+        perf["eventsPerSec"] = JsonValue(r.perf.eventsPerSec());
+        perf["ticksPerSec"] = JsonValue(r.perf.ticksPerSec());
+    }
+    v["perf"] = std::move(perf);
     return v;
 }
 
@@ -94,13 +119,25 @@ runResultFromJson(const JsonValue &v)
     for (std::size_t i = 0; i < buckets.size(); ++i)
         counts.push_back(buckets.at(i).asUInt());
     r.consumerHist.assign(std::move(counts));
+
+    // Telemetry arrived in schemaVersion 2; tolerate its absence so
+    // old documents still load.
+    if (const JsonValue *perf = v.find("perf")) {
+#define X(field)                                                          \
+        if (const JsonValue *f = perf->find(#field))                      \
+            r.perf.field = f->asUInt();
+        PCSIM_RUN_PERF_FIELDS(X)
+#undef X
+        if (const JsonValue *w = perf->find("wallSeconds"))
+            r.perf.wallSeconds = w->asDouble();
+    }
     return r;
 }
 
 JsonValue
-toJson(const JobResult &jr)
+toJson(const JobResult &jr, bool with_timing)
 {
-    JsonValue v = toJson(jr.result);
+    JsonValue v = toJson(jr.result, with_timing);
     // The job spec is authoritative for identity fields: a failed job
     // has an empty RunResult but still reports what was asked for.
     v["workload"] = JsonValue(jr.job.workload);
@@ -114,14 +151,14 @@ toJson(const JobResult &jr)
 }
 
 JsonValue
-resultsToJson(const std::vector<JobResult> &results)
+resultsToJson(const std::vector<JobResult> &results, bool with_timing)
 {
     JsonValue doc = JsonValue::object();
-    doc["schemaVersion"] = JsonValue(std::uint64_t(1));
+    doc["schemaVersion"] = JsonValue(std::uint64_t(2));
     doc["generator"] = JsonValue("pcsim");
     JsonValue arr = JsonValue::array();
     for (const auto &r : results)
-        arr.push(toJson(r));
+        arr.push(toJson(r, with_timing));
     doc["results"] = std::move(arr);
     return doc;
 }
@@ -147,7 +184,7 @@ csvField(const std::string &s)
 } // namespace
 
 std::string
-resultsToCsv(const std::vector<JobResult> &results)
+resultsToCsv(const std::vector<JobResult> &results, bool with_timing)
 {
     std::string out = "workload,config,label,seed,scale,ok,error,"
                       "cycles,netMessages,netBytes,nackMessages,"
@@ -155,6 +192,11 @@ resultsToCsv(const std::vector<JobResult> &results)
 #define X(field) out += ",nodes." #field;
     PCSIM_NODE_STATS_FIELDS(X)
 #undef X
+#define X(field) out += ",perf." #field;
+    PCSIM_RUN_PERF_FIELDS(X)
+#undef X
+    if (with_timing)
+        out += ",perf.wallSeconds,perf.eventsPerSec";
     out += '\n';
 
     const auto num = [](std::uint64_t v) {
@@ -179,6 +221,16 @@ resultsToCsv(const std::vector<JobResult> &results)
 #define X(field) out += ',' + num(jr.result.nodes.field);
         PCSIM_NODE_STATS_FIELDS(X)
 #undef X
+#define X(field) out += ',' + num(jr.result.perf.field);
+        PCSIM_RUN_PERF_FIELDS(X)
+#undef X
+        if (with_timing) {
+            char t[64];
+            std::snprintf(t, sizeof(t), ",%.6f,%.0f",
+                          jr.result.perf.wallSeconds,
+                          jr.result.perf.eventsPerSec());
+            out += t;
+        }
         out += '\n';
     }
     return out;

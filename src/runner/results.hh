@@ -4,10 +4,10 @@
  * CSV, plus lookup helpers for table formatters that consume the JSON
  * document instead of scraping stdout.
  *
- * JSON schema (schemaVersion 1):
+ * JSON schema (schemaVersion 2):
  *
  *   {
- *     "schemaVersion": 1,
+ *     "schemaVersion": 2,
  *     "generator": "pcsim",
  *     "results": [
  *       {
@@ -17,14 +17,28 @@
  *         "netMessages": N, "netBytes": N,
  *         "nackMessages": N, "updateMessages": N,
  *         "nodes": { "reads": N, "writes": N, ... },   // NodeStats
- *         "consumerHist": { "total": N, "buckets": [N, ...] }
+ *         "consumerHist": { "total": N, "buckets": [N, ...] },
+ *         "perf": {                      // kernel telemetry (v2)
+ *           "eventsExecuted": N, "eventsScheduled": N,
+ *           "peakQueueDepth": N,
+ *           "inlineCallbacks": N, "heapCallbacks": N,
+ *           "overflowEvents": N, "windowAdvances": N,
+ *           "poolAcquires": N, "poolReuses": N,
+ *           "simTicks": N,
+ *           // only when serialized with_timing (never in
+ *           // determinism-checked documents):
+ *           "wallSeconds": F, "eventsPerSec": F, "ticksPerSec": F
+ *         }
  *       }, ...
  *     ]
  *   }
  *
- * Wall-clock timing is deliberately excluded so the document is
- * byte-identical across thread counts and hosts (determinism checks
- * diff the serialized form).
+ * Everything in "perf" except the timing trio is a pure function of
+ * the simulated machine + workload; wall-clock rates are host noise.
+ * The default (with_timing = false) drops them so the document is
+ * byte-identical across thread counts and hosts — the repo-wide
+ * guarantee the determinism checks diff. Opting in (pcsim --timing)
+ * trades that diffability for throughput visibility.
  */
 
 #ifndef PCSIM_RUNNER_RESULTS_HH
@@ -42,21 +56,27 @@ namespace pcsim
 namespace runner
 {
 
-/** Serialize one run's statistics (without job metadata). */
-JsonValue toJson(const RunResult &r);
+/** Serialize one run's statistics (without job metadata).
+ *  @param with_timing include host wall-clock rates (default off:
+ *         they break cross-host/thread-count byte identity). */
+JsonValue toJson(const RunResult &r, bool with_timing = false);
 
-/** Rebuild a RunResult from toJson() output.
+/** Rebuild a RunResult from toJson() output. Documents without a
+ *  "perf" object (schemaVersion 1) parse with zeroed telemetry.
  *  @throws std::out_of_range / std::logic_error on schema mismatch. */
 RunResult runResultFromJson(const JsonValue &v);
 
 /** Serialize one job outcome (spec + statistics). */
-JsonValue toJson(const JobResult &r);
+JsonValue toJson(const JobResult &r, bool with_timing = false);
 
 /** Serialize a whole result set as a schema-versioned document. */
-JsonValue resultsToJson(const std::vector<JobResult> &results);
+JsonValue resultsToJson(const std::vector<JobResult> &results,
+                        bool with_timing = false);
 
-/** Flat CSV: one row per job, fixed column order, RFC-4180 quoting. */
-std::string resultsToCsv(const std::vector<JobResult> &results);
+/** Flat CSV: one row per job, fixed column order, RFC-4180 quoting.
+ *  Timing columns are emitted only when @p with_timing. */
+std::string resultsToCsv(const std::vector<JobResult> &results,
+                         bool with_timing = false);
 
 /** Write @p text to @p path; "-" writes to stdout.
  *  @return false (with a warning) if the file cannot be written. */

@@ -2,17 +2,32 @@
  * @file
  * Discrete event simulation kernel.
  *
- * The EventQueue is a priority queue of (tick, sequence) ordered
- * callbacks. Sequence numbers break ties deterministically in schedule
- * order, so a simulation run is fully reproducible for a given seed.
+ * The EventQueue executes callbacks in (tick, sequence) order:
+ * sequence numbers break same-tick ties in schedule order, so a
+ * simulation run is fully reproducible for a given seed.
+ *
+ * Internals (see DESIGN.md, "Simulation kernel internals"): the queue
+ * is a two-level calendar. Events within a 4096-tick window of the
+ * current one land in per-tick FIFO lists of pooled event nodes
+ * (append = schedule order, so same-tick FIFO is structural); rarer
+ * far-future events wait in a (tick, seq)-ordered binary heap and
+ * migrate into the lists when their window becomes current. A
+ * callback is constructed in place inside a recycled node and never
+ * moves afterwards, so the common scheduleIn(delta, lambda) path
+ * performs zero heap allocations and reuses cache-warm storage.
  */
 
 #ifndef PCSIM_SIM_EVENT_QUEUE_HH
 #define PCSIM_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/sim/logging.hh"
@@ -21,8 +36,21 @@
 namespace pcsim
 {
 
-/** Callback type executed when an event fires. */
-using EventCallback = std::function<void()>;
+/** Kernel hot-path counters (see RunPerf for the per-run rollup). */
+struct EventQueueStats
+{
+    std::uint64_t executed = 0;
+    std::uint64_t scheduled = 0;
+    std::uint64_t peakPending = 0;
+    /** Callbacks constructed in the node's inline buffer. */
+    std::uint64_t inlineCallbacks = 0;
+    /** Callbacks that fell back to a heap allocation. */
+    std::uint64_t heapCallbacks = 0;
+    /** Events scheduled beyond the near-future window. */
+    std::uint64_t overflowEvents = 0;
+    /** Calendar-window advances (overflow migrations). */
+    std::uint64_t windowAdvances = 0;
+};
 
 /**
  * The central simulation event queue.
@@ -34,38 +62,72 @@ using EventCallback = std::function<void()>;
 class EventQueue
 {
   public:
+    /** Inline callback capacity per event node: sized for the largest
+     *  hot protocol closure (a controller pointer plus one 64-byte
+     *  Message). Larger callables fall back to one heap allocation. */
+    static constexpr std::size_t inlineCallbackBytes = 80;
+
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue() { destroyPending(); }
 
     /** Current simulated time. */
     Tick curTick() const { return _curTick; }
 
-    /** Schedule @p cb at absolute tick @p when (must be >= curTick). */
+    /** Schedule callable @p f at absolute tick @p when (must be
+     *  >= curTick). */
+    template <typename F>
     void
-    schedule(Tick when, EventCallback cb)
+    schedule(Tick when, F &&f)
     {
         if (when < _curTick)
             panic("scheduling event in the past (%llu < %llu)",
                   (unsigned long long)when, (unsigned long long)_curTick);
-        _events.push(PendingEvent{when, _nextSeq++, std::move(cb)});
+        EventNode *n = allocNode();
+        emplace(n, std::forward<F>(f));
+        ++_stats.scheduled;
+
+        const std::uint64_t w = when >> kLogBuckets;
+        if (w == _curWindow) {
+            appendSlot(static_cast<std::size_t>(when & kSlotMask), n);
+            ++_ringCount;
+        } else {
+            ++_stats.overflowEvents;
+            _overflow.push_back(FarEvent{when, _nextFarSeq++, n});
+            std::push_heap(_overflow.begin(), _overflow.end(),
+                           FarLater{});
+        }
+        const std::uint64_t pending = _ringCount + _overflow.size();
+        if (pending > _stats.peakPending)
+            _stats.peakPending = pending;
     }
 
-    /** Schedule @p cb @p delta ticks from now. */
+    /** Schedule callable @p f @p delta ticks from now. */
+    template <typename F>
     void
-    scheduleIn(Tick delta, EventCallback cb)
+    scheduleIn(Tick delta, F &&f)
     {
-        schedule(_curTick + delta, std::move(cb));
+        schedule(_curTick + delta, std::forward<F>(f));
     }
 
     /** Number of events not yet executed. */
-    std::size_t numPending() const { return _events.size(); }
+    std::size_t
+    numPending() const
+    {
+        return static_cast<std::size_t>(_ringCount) + _overflow.size();
+    }
 
     /** True if nothing remains to execute. */
-    bool empty() const { return _events.empty(); }
+    bool empty() const { return numPending() == 0; }
 
-    /** Request that run() stop before executing the next event. */
+    /** Request that run() / step() stop before executing the next
+     *  event. run() clears any stale request on entry; step() consumes
+     *  a pending request by returning false once without executing. */
     void requestStop() { _stopRequested = true; }
+
+    /** True while a stop request is pending (not yet consumed). */
+    bool stopRequested() const { return _stopRequested; }
 
     /**
      * Drain the queue.
@@ -79,30 +141,33 @@ class EventQueue
     {
         std::uint64_t executed = 0;
         _stopRequested = false;
-        while (!_events.empty() && !_stopRequested) {
-            const PendingEvent &top = _events.top();
-            if (top.when > limit)
+        Tick when;
+        while (!_stopRequested && findNextTick(when)) {
+            if (when > limit)
                 break;
-            _curTick = top.when;
-            EventCallback cb = std::move(top.cb);
-            _events.pop();
-            cb();
+            executeOne(when);
             ++executed;
         }
         return executed;
     }
 
-    /** Execute at most one event; returns false if queue was empty. */
+    /**
+     * Execute at most one event.
+     *
+     * @return false when the queue is empty or a stop request was
+     *         pending (the request is consumed without executing).
+     */
     bool
     step()
     {
-        if (_events.empty())
+        if (_stopRequested) {
+            _stopRequested = false;
             return false;
-        const PendingEvent &top = _events.top();
-        _curTick = top.when;
-        EventCallback cb = std::move(top.cb);
-        _events.pop();
-        cb();
+        }
+        Tick when;
+        if (!findNextTick(when))
+            return false;
+        executeOne(when);
         return true;
     }
 
@@ -110,35 +175,277 @@ class EventQueue
     void
     reset()
     {
+        destroyPending();
+        _ringCount = 0;
+        _curWindow = 0;
         _curTick = 0;
-        _nextSeq = 0;
+        _nextFarSeq = 0;
         _stopRequested = false;
-        while (!_events.empty())
-            _events.pop();
+        _stats = EventQueueStats{};
     }
 
+    /** Kernel telemetry accumulated since construction / reset(). */
+    const EventQueueStats &stats() const { return _stats; }
+
   private:
-    struct PendingEvent
+    /** log2 of the near-future horizon, in ticks. 4096 covers every
+     *  latency in Table 1 (hops, DRAM, NI occupancy, retry backoff)
+     *  so virtually all protocol events take the in-window path. */
+    static constexpr unsigned kLogBuckets = 12;
+    static constexpr std::size_t kNumBuckets = std::size_t(1)
+                                               << kLogBuckets;
+    static constexpr Tick kSlotMask = kNumBuckets - 1;
+    static constexpr std::size_t kWords = kNumBuckets / 64;
+    static constexpr std::size_t kNodesPerSlab = 256;
+
+    /**
+     * One pending event. Nodes are recycled through an intrusive
+     * free list and never move while armed, so the callable is
+     * constructed directly in @c buf and needs no move support.
+     */
+    struct EventNode
+    {
+        /** FIFO link within a tick slot / free-list link. */
+        EventNode *next;
+        void (*invoke)(void *);
+        /** Null for trivially-destructible inline callables; frees
+         *  the heap copy for oversized ones. */
+        void (*dtor)(void *);
+        alignas(std::max_align_t)
+            unsigned char buf[inlineCallbackBytes];
+    };
+    static_assert(sizeof(EventNode) % alignof(std::max_align_t) == 0,
+                  "node stride must preserve buffer alignment");
+
+    /** One tick's worth of events, in schedule order. */
+    struct Slot
+    {
+        EventNode *head = nullptr;
+        EventNode *tail = nullptr;
+    };
+
+    /** An event beyond the near horizon, heap-ordered by (when, seq). */
+    struct FarEvent
     {
         Tick when;
         std::uint64_t seq;
-        mutable EventCallback cb;
+        EventNode *node;
+    };
 
+    /** Comparator making std::push_heap/pop_heap a min-heap. */
+    struct FarLater
+    {
         bool
-        operator>(const PendingEvent &other) const
+        operator()(const FarEvent &a, const FarEvent &b) const
         {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<PendingEvent, std::vector<PendingEvent>,
-                        std::greater<>>
-        _events;
+    EventNode *
+    allocNode()
+    {
+        if (_freeNodes) {
+            EventNode *n = _freeNodes;
+            _freeNodes = n->next;
+            return n;
+        }
+        if (_slabUsed == kNodesPerSlab) {
+            _slabs.emplace_back(new EventNode[kNodesPerSlab]);
+            _slabUsed = 0;
+        }
+        return &_slabs.back()[_slabUsed++];
+    }
+
+    void
+    freeNode(EventNode *n)
+    {
+        n->next = _freeNodes;
+        _freeNodes = n;
+    }
+
+    /** Construct the callable inside @p n (inline when it fits). */
+    template <typename F>
+    void
+    emplace(EventNode *n, F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_v<Fn &>,
+                      "scheduled callable must be invocable");
+        if constexpr (sizeof(Fn) <= inlineCallbackBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            new (n->buf) Fn(std::forward<F>(f));
+            n->invoke = [](void *p) { (*static_cast<Fn *>(p))(); };
+            if constexpr (std::is_trivially_destructible_v<Fn>)
+                n->dtor = nullptr;
+            else
+                n->dtor = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+            ++_stats.inlineCallbacks;
+        } else {
+            ::new (n->buf) (Fn *)(new Fn(std::forward<F>(f)));
+            n->invoke = [](void *p) { (**static_cast<Fn **>(p))(); };
+            n->dtor = [](void *p) { delete *static_cast<Fn **>(p); };
+            ++_stats.heapCallbacks;
+        }
+    }
+
+    void
+    appendSlot(std::size_t slot, EventNode *n)
+    {
+        n->next = nullptr;
+        Slot &s = _slots[slot];
+        if (s.head) {
+            s.tail->next = n;
+        } else {
+            s.head = n;
+            _occupied[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+        }
+        s.tail = n;
+    }
+
+    /** First occupied slot >= from, or -1. */
+    int
+    nextOccupied(std::size_t from) const
+    {
+        std::size_t word = from >> 6;
+        if (word >= kWords)
+            return -1;
+        std::uint64_t bits = _occupied[word] &
+                             (~std::uint64_t(0) << (from & 63));
+        while (true) {
+            if (bits)
+                return static_cast<int>((word << 6) +
+                                        __builtin_ctzll(bits));
+            if (++word >= kWords)
+                return -1;
+            bits = _occupied[word];
+        }
+    }
+
+    /** Slot scanning starts at curTick when it lies in the current
+     *  window (earlier slots are already drained), else at 0 (the
+     *  window was advanced ahead of curTick by a migration). */
+    std::size_t
+    scanStart() const
+    {
+        return (_curTick >> kLogBuckets) == _curWindow
+                   ? static_cast<std::size_t>(_curTick & kSlotMask)
+                   : 0;
+    }
+
+    /** Tick of the next event, without executing. In-window events
+     *  always precede overflow events (the overflow holds later
+     *  windows only), so the ring is authoritative while non-empty. */
+    bool
+    findNextTick(Tick &when)
+    {
+        if (_ringCount) {
+            const int slot = nextOccupied(scanStart());
+            if (slot < 0)
+                panic("event ring count %llu but no occupied slot",
+                      (unsigned long long)_ringCount);
+            when = (_curWindow << kLogBuckets) |
+                   static_cast<Tick>(slot);
+            return true;
+        }
+        if (!_overflow.empty()) {
+            when = _overflow.front().when;
+            return true;
+        }
+        return false;
+    }
+
+    /** Make the overflow's earliest window current, migrating its
+     *  events into the slots. Heap order is (when, seq), and any
+     *  future append to those slots carries a later sequence, so
+     *  same-tick FIFO order is preserved across the migration. */
+    void
+    advanceWindow()
+    {
+        const std::uint64_t w = _overflow.front().when >> kLogBuckets;
+        _curWindow = w;
+        ++_stats.windowAdvances;
+        while (!_overflow.empty() &&
+               (_overflow.front().when >> kLogBuckets) == w) {
+            std::pop_heap(_overflow.begin(), _overflow.end(),
+                          FarLater{});
+            const FarEvent fe = _overflow.back();
+            _overflow.pop_back();
+            appendSlot(static_cast<std::size_t>(fe.when & kSlotMask),
+                       fe.node);
+            ++_ringCount;
+        }
+    }
+
+    /** Execute the next event; @p when must come from findNextTick. */
+    void
+    executeOne(Tick when)
+    {
+        if (!_ringCount)
+            advanceWindow();
+        const std::size_t slot =
+            static_cast<std::size_t>(when & kSlotMask);
+        Slot &s = _slots[slot];
+        // Detach before invoking: the callback may append same-tick
+        // events to this very slot.
+        EventNode *n = s.head;
+        s.head = n->next;
+        if (!s.head) {
+            s.tail = nullptr;
+            _occupied[slot >> 6] &=
+                ~(std::uint64_t(1) << (slot & 63));
+        }
+        --_ringCount;
+        _curTick = when;
+        n->invoke(n->buf);
+        if (n->dtor)
+            n->dtor(n->buf);
+        freeNode(n);
+        ++_stats.executed;
+    }
+
+    /** Destroy every pending callable and recycle its node (reset()
+     *  and destruction; pending state may own resources). */
+    void
+    destroyPending()
+    {
+        for (Slot &s : _slots) {
+            for (EventNode *n = s.head; n;) {
+                EventNode *next = n->next;
+                if (n->dtor)
+                    n->dtor(n->buf);
+                freeNode(n);
+                n = next;
+            }
+            s.head = nullptr;
+            s.tail = nullptr;
+        }
+        std::fill(std::begin(_occupied), std::end(_occupied), 0);
+        for (const FarEvent &fe : _overflow) {
+            if (fe.node->dtor)
+                fe.node->dtor(fe.node->buf);
+            freeNode(fe.node);
+        }
+        _overflow.clear();
+    }
+
+    Slot _slots[kNumBuckets];
+    std::uint64_t _occupied[kWords] = {};
+    std::uint64_t _ringCount = 0;
+    std::uint64_t _curWindow = 0;
+
+    std::vector<FarEvent> _overflow;
+    std::uint64_t _nextFarSeq = 0;
+
+    EventNode *_freeNodes = nullptr;
+    std::vector<std::unique_ptr<EventNode[]>> _slabs;
+    std::size_t _slabUsed = kNodesPerSlab;
+
     Tick _curTick = 0;
-    std::uint64_t _nextSeq = 0;
     bool _stopRequested = false;
+    EventQueueStats _stats;
 };
 
 /**

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Performance telemetry for the simulation kernel.
+ *
+ * RunPerf aggregates, per simulation run, the kernel's hot-path
+ * counters (events executed/scheduled, queue depth, callback storage
+ * classes, calendar-queue overflow traffic), the message-pool
+ * recycling counters, and host wall-clock time. Everything except
+ * wallSeconds (and the rates derived from it) is a pure function of
+ * the simulated machine + workload and is therefore byte-identical
+ * across hosts and thread counts; serialization keeps the volatile
+ * timing fields out of determinism-checked documents (see
+ * src/runner/results.hh).
+ */
+
+#ifndef PCSIM_SIM_PERF_HH
+#define PCSIM_SIM_PERF_HH
+
+#include <cstdint>
+
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/** Per-run kernel + pool telemetry. */
+struct RunPerf
+{
+    // Event kernel (EventQueue) counters, whole run.
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t eventsScheduled = 0;
+    std::uint64_t peakQueueDepth = 0;
+    /** Callbacks stored in the event's inline buffer (zero-alloc). */
+    std::uint64_t inlineCallbacks = 0;
+    /** Callbacks that fell back to a heap allocation. */
+    std::uint64_t heapCallbacks = 0;
+    /** Events scheduled beyond the near-future bucket horizon. */
+    std::uint64_t overflowEvents = 0;
+    /** Calendar-window advances (overflow migrations). */
+    std::uint64_t windowAdvances = 0;
+
+    // Message pool counters.
+    std::uint64_t poolAcquires = 0;
+    std::uint64_t poolReuses = 0;
+
+    /** Final simulated time of the run. */
+    Tick simTicks = 0;
+
+    /** Host wall-clock seconds (volatile across hosts/runs). */
+    double wallSeconds = 0.0;
+
+    double
+    eventsPerSec() const
+    {
+        return wallSeconds > 0 ? double(eventsExecuted) / wallSeconds
+                               : 0.0;
+    }
+
+    double
+    ticksPerSec() const
+    {
+        return wallSeconds > 0 ? double(simTicks) / wallSeconds : 0.0;
+    }
+
+    /** Fraction of pool acquisitions served by recycling. */
+    double
+    poolHitRate() const
+    {
+        return poolAcquires ? double(poolReuses) / double(poolAcquires)
+                            : 0.0;
+    }
+
+    /** Fraction of scheduled callbacks that needed no heap storage. */
+    double
+    inlineRate() const
+    {
+        const std::uint64_t total = inlineCallbacks + heapCallbacks;
+        return total ? double(inlineCallbacks) / double(total) : 0.0;
+    }
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_SIM_PERF_HH

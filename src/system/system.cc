@@ -1,5 +1,7 @@
 #include "src/system/system.hh"
 
+#include <chrono>
+
 #include "src/sim/logging.hh"
 
 namespace pcsim
@@ -69,6 +71,7 @@ System::run(Workload &workload, Tick max_ticks)
             resetStats();
     });
 
+    const auto wall_start = std::chrono::steady_clock::now();
     _eq.run(max_ticks);
 
     if (running != 0)
@@ -79,6 +82,10 @@ System::run(Workload &workload, Tick max_ticks)
     // Drain any leftover protocol work (pending delayed interventions
     // push updates after the CPUs finish) before the quiescent check.
     _eq.run(maxTick);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
 
     if (_checker.enabled()) {
         _checker.checkQuiescent(
@@ -97,6 +104,19 @@ System::run(Workload &workload, Tick max_ticks)
                      _net.numByType(MsgType::NackNotHome);
     r.updateMessages = _net.numByType(MsgType::Update);
     r.consumerHist = _consumerHist;
+
+    const EventQueueStats &eqs = _eq.stats();
+    r.perf.eventsExecuted = eqs.executed;
+    r.perf.eventsScheduled = eqs.scheduled;
+    r.perf.peakQueueDepth = eqs.peakPending;
+    r.perf.inlineCallbacks = eqs.inlineCallbacks;
+    r.perf.heapCallbacks = eqs.heapCallbacks;
+    r.perf.overflowEvents = eqs.overflowEvents;
+    r.perf.windowAdvances = eqs.windowAdvances;
+    r.perf.poolAcquires = _net.poolStats().acquires;
+    r.perf.poolReuses = _net.poolStats().reuses;
+    r.perf.simTicks = _eq.curTick();
+    r.perf.wallSeconds = wall;
     return r;
 }
 

@@ -20,6 +20,7 @@
 #include "src/protocol/config.hh"
 #include "src/protocol/hub.hh"
 #include "src/sim/event_queue.hh"
+#include "src/sim/perf.hh"
 #include "src/sim/stats.hh"
 #include "src/workload/workload.hh"
 
@@ -56,6 +57,10 @@ struct RunResult
     /** Consumers-per-write for producer-consumer lines (Table 3):
      *  bucket i = writes that invalidated i consumer copies. */
     Histogram consumerHist{17};
+
+    /** Kernel/pool telemetry for the whole run (init + parallel
+     *  phases); wallSeconds is host-dependent, the rest deterministic. */
+    RunPerf perf;
 
     std::uint64_t totalMisses() const
     {

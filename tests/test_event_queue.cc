@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/sim/event_queue.hh"
@@ -132,4 +138,224 @@ TEST(EventQueue, SameTickSchedulingAllowed)
     });
     eq.run();
     EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, StepConsumesPendingStopWithoutExecuting)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() { ++fired; });
+    eq.requestStop();
+    EXPECT_TRUE(eq.stopRequested());
+    // The pending request is consumed: step() returns false once and
+    // leaves the event in place.
+    EXPECT_FALSE(eq.step());
+    EXPECT_FALSE(eq.stopRequested());
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.numPending(), 1u);
+    // With the request consumed, stepping resumes normally.
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunClearsStaleStopRequest)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() { ++fired; });
+    // A request left over from before run() must not suppress it.
+    eq.requestStop();
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.stopRequested());
+}
+
+TEST(EventQueue, FarFutureEventsCrossWindows)
+{
+    // Deltas far beyond the 4096-tick near window exercise the
+    // overflow heap and window migration.
+    EventQueue eq;
+    std::vector<Tick> seen;
+    for (Tick t : {Tick(1), Tick(5000), Tick(70000), Tick(4096),
+                   Tick(1000000), Tick(4095)})
+        eq.schedule(t, [&seen, &eq]() { seen.push_back(eq.curTick()); });
+    eq.run();
+    EXPECT_EQ(seen, (std::vector<Tick>{1, 4095, 4096, 5000, 70000,
+                                       1000000}));
+    EXPECT_GT(eq.stats().overflowEvents, 0u);
+    EXPECT_GT(eq.stats().windowAdvances, 0u);
+}
+
+TEST(EventQueue, SameTickFifoSurvivesWindowMigration)
+{
+    // Two events on one far-future tick, interleaved with a nearer
+    // event whose callback appends a third to the same far tick. All
+    // three must still fire in schedule order after migrating from
+    // the overflow heap into the calendar ring.
+    EventQueue eq;
+    const Tick far = 123456;
+    std::vector<int> order;
+    eq.schedule(far, [&]() { order.push_back(0); });
+    eq.schedule(10, [&]() {
+        eq.schedule(far, [&]() { order.push_back(2); });
+    });
+    eq.schedule(far, [&]() { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, ResetAllowsFullReuse)
+{
+    EventQueue eq;
+    for (int round = 0; round < 3; ++round) {
+        int fired = 0;
+        eq.schedule(10, [&]() { ++fired; });
+        eq.schedule(99999, [&]() { ++fired; }); // parked in overflow
+        eq.run(50);                             // leaves one pending
+        EXPECT_EQ(fired, 1);
+        EXPECT_EQ(eq.numPending(), 1u);
+        eq.reset();
+        EXPECT_EQ(eq.curTick(), 0u);
+        EXPECT_TRUE(eq.empty());
+        EXPECT_EQ(eq.stats().scheduled, 0u);
+    }
+}
+
+TEST(EventQueue, ResetDestroysPendingCallables)
+{
+    // Undelivered closures own resources; reset() must release them.
+    auto token = std::make_shared<int>(42);
+    EventQueue eq;
+    eq.schedule(10, [token]() {});
+    eq.schedule(999999, [token]() {}); // overflow copy
+    EXPECT_EQ(token.use_count(), 3);
+    eq.reset();
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, OversizedCallablesFallBackToHeap)
+{
+    EventQueue eq;
+    std::array<std::uint64_t, 32> big{}; // 256 B > inlineCallbackBytes
+    big[0] = 7;
+    big[31] = 9;
+    std::uint64_t sum = 0;
+    auto token = std::make_shared<int>(0);
+    eq.schedule(1, [big, token, &sum]() { sum = big[0] + big[31]; });
+    EXPECT_EQ(eq.stats().heapCallbacks, 1u);
+    eq.run();
+    EXPECT_EQ(sum, 16u);
+    EXPECT_EQ(token.use_count(), 1); // heap copy destroyed after run
+}
+
+TEST(EventQueue, StatsCountersTrackActivity)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(Tick(10 + i), []() {});
+    EXPECT_EQ(eq.stats().scheduled, 5u);
+    EXPECT_EQ(eq.stats().inlineCallbacks, 5u);
+    EXPECT_EQ(eq.stats().peakPending, 5u);
+    eq.run();
+    EXPECT_EQ(eq.stats().executed, 5u);
+}
+
+namespace
+{
+
+/** Reference model: (tick, seq)-ordered std::priority_queue. */
+struct RefEvent
+{
+    Tick when;
+    std::uint64_t seq;
+    int id;
+};
+
+struct RefLater
+{
+    bool
+    operator()(const RefEvent &a, const RefEvent &b) const
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+};
+
+/** Deterministic xorshift so the stress test needs no <random>. */
+struct XorShift
+{
+    std::uint64_t s;
+    std::uint64_t
+    next()
+    {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+};
+
+} // namespace
+
+TEST(EventQueue, RandomizedStressMatchesReferenceModel)
+{
+    // Drive the calendar queue and a textbook priority queue with the
+    // same randomized schedule (mixed near/far deltas, same-tick
+    // bursts, events scheduling events) and demand identical
+    // execution order.
+    for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+        EventQueue eq;
+        std::priority_queue<RefEvent, std::vector<RefEvent>, RefLater>
+            ref;
+        std::uint64_t refSeq = 0;
+        XorShift rng{seed};
+        std::vector<int> gotOrder, refOrder;
+        int nextId = 0;
+
+        std::function<void(int, int)> spawn = [&](int id, int depth) {
+            gotOrder.push_back(id);
+            if (depth > 0 && (rng.next() & 3) == 0) {
+                // Occasionally reschedule a child relative to now,
+                // mirrored into the reference model with the same
+                // delta and a fresh id.
+                const std::uint64_t r = rng.next();
+                Tick delta = (r & 1) ? Tick(r % 4096)
+                                     : Tick(4096 + r % 100000);
+                const int child = nextId++;
+                ref.push(RefEvent{eq.curTick() + delta, refSeq++,
+                                  child});
+                eq.scheduleIn(delta,
+                              [&, child, depth]() {
+                                  spawn(child, depth - 1);
+                              });
+            }
+        };
+
+        for (int i = 0; i < 500; ++i) {
+            const std::uint64_t r = rng.next();
+            Tick when;
+            switch (r & 3) {
+            case 0: when = r % 64; break;            // same-tick bursts
+            case 1: when = r % 4096; break;          // in-window
+            case 2: when = 4096 + r % 262144; break; // few windows out
+            default: when = r % 10000000; break;     // far future
+            }
+            const int id = nextId++;
+            ref.push(RefEvent{when, refSeq++, id});
+            eq.schedule(when, [&, id]() { spawn(id, 3); });
+        }
+
+        eq.run();
+
+        while (!ref.empty()) {
+            refOrder.push_back(ref.top().id);
+            ref.pop();
+        }
+        // Children pushed into `ref` during execution drain here too:
+        // the reference pop order is (when, seq), matching run().
+        ASSERT_EQ(gotOrder.size(), refOrder.size()) << "seed " << seed;
+        EXPECT_EQ(gotOrder, refOrder) << "seed " << seed;
+        EXPECT_TRUE(eq.empty());
+    }
 }
