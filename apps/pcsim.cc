@@ -41,6 +41,7 @@ usage(std::FILE *out)
 "usage:\n"
 "  pcsim run   --workload <names> [--config <names>] [options]\n"
 "  pcsim sweep (--figure 7|9|10 | --table 2) [options]\n"
+"  pcsim scale [--nodes n,m,...] [--workload W] [options]\n"
 "  pcsim bench [--json PATH] [--baseline PATH] [options]\n"
 "  pcsim list             list workloads and configuration presets\n"
 "  pcsim help             show this text\n"
@@ -50,9 +51,19 @@ usage(std::FILE *out)
 "                         (micro is an alias for PCmicro)\n"
 "  --config a,b           machine presets (default: base)\n"
 "  --seeds n,m            seeds, one job per seed (default: 1)\n"
-"  --nodes N              machine size (default: 16)\n"
+"  --nodes N              machine size (default: 16); scale takes a\n"
+"                         comma-separated list (default: 16..256)\n"
+"  --coarse K             nodes per directory sharer bit (power of\n"
+"                         two; default 1 = exact vector)\n"
 "  --scale F              workload scale factor (default: 1)\n"
 "  --checker              enable the coherence invariant checker\n"
+"\n"
+"scale (node-count scaling sweep of base/delegation/delegate-update):\n"
+"  --nodes n,m            machine sizes (default: 16,32,64,128,256)\n"
+"  --workload W           workload per point (default: Em3D)\n"
+"  --scale F              workload scale per point (default: 0.25)\n"
+"  --repeats N            repeats per point, best wall time\n"
+"                         (default: 1)\n"
 "\n"
 "bench options:\n"
 "  --events N             events per kernel microbenchmark\n"
@@ -101,7 +112,10 @@ struct Options
     std::vector<std::string> configs{"base"};
     std::vector<std::uint64_t> seeds{1};
     unsigned nodes = 16;
+    std::vector<unsigned> nodeList; ///< scale: machine sizes
+    unsigned coarse = 1; ///< nodes per sharer bit (power of two)
     double scale = 1.0;
+    bool scaleSet = false;
     bool checker = false;
     unsigned threads = 0;
     bool threadsSet = false;
@@ -114,9 +128,10 @@ struct Options
     int figure = 0;   ///< 7, 9 or 10
     int tableNum = 0; ///< 2
 
-    // bench
+    // bench / scale
     std::uint64_t benchEvents = 2000000;
     unsigned benchRepeats = 3;
+    bool repeatsSet = false;
     std::string baselinePath;
 };
 
@@ -180,13 +195,38 @@ parseArgs(int argc, char **argv, Options &opt)
             const char *v = value();
             if (!v)
                 return false;
-            opt.nodes = unsigned(std::strtoul(v, nullptr, 10));
+            opt.nodeList.clear();
+            for (const auto &s : splitList(v))
+                opt.nodeList.push_back(
+                    unsigned(std::strtoul(s.c_str(), nullptr, 10)));
+            if (opt.nodeList.empty()) {
+                std::fprintf(stderr, "pcsim: bad --nodes '%s'\n", v);
+                return false;
+            }
+            opt.nodes = opt.nodeList.front();
+            if (opt.nodeList.size() > 1 && opt.command != "scale") {
+                std::fprintf(stderr, "pcsim: --nodes takes one value "
+                                     "outside 'pcsim scale'\n");
+                return false;
+            }
+        } else if (arg == "--coarse") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.coarse = unsigned(std::strtoul(v, nullptr, 10));
+            if (!isPowerOfTwo(opt.coarse)) {
+                std::fprintf(stderr, "pcsim: --coarse '%s' must be a "
+                                     "power of two >= 1\n",
+                             v);
+                return false;
+            }
         } else if (arg == "--scale") {
             const char *v = value();
             if (!v)
                 return false;
             char *end = nullptr;
             opt.scale = std::strtod(v, &end);
+            opt.scaleSet = true;
             if (end == v || *end != '\0' || opt.scale <= 0) {
                 std::fprintf(stderr, "pcsim: bad --scale '%s'\n", v);
                 return false;
@@ -233,6 +273,7 @@ parseArgs(int argc, char **argv, Options &opt)
                 return false;
             opt.benchRepeats =
                 unsigned(std::strtoul(v, nullptr, 10));
+            opt.repeatsSet = true;
             if (opt.benchRepeats == 0) {
                 std::fprintf(stderr, "pcsim: bad --repeats '%s'\n", v);
                 return false;
@@ -375,6 +416,15 @@ runCommand(const Options &opt)
                 return 1;
             }
             cfg.proto.checkerEnabled = opt.checker;
+            cfg.proto.sharerGranularityLog2 = log2Ceil(opt.coarse);
+            const std::string verr = cfg.proto.validateError();
+            if (!verr.empty()) {
+                std::fprintf(stderr,
+                             "pcsim: invalid configuration '%s' at "
+                             "%u nodes: %s\n",
+                             cname.c_str(), opt.nodes, verr.c_str());
+                return 1;
+            }
             for (std::uint64_t seed : opt.seeds) {
                 runner::Job j;
                 j.workload = canonical;
@@ -505,6 +555,32 @@ main(int argc, char **argv)
         return runCommand(opt);
     if (cmd == "sweep")
         return sweepCommand(opt);
+    if (cmd == "scale") {
+        runner::ScaleOptions sopt;
+        sopt.nodeCounts = opt.nodeList;
+        if (!opt.workloads.empty()) {
+            if (opt.workloads.size() > 1) {
+                std::fprintf(stderr, "pcsim scale: one workload "
+                                     "only\n");
+                return 1;
+            }
+            const std::string canonical =
+                runner::canonicalWorkload(opt.workloads[0]);
+            if (canonical.empty()) {
+                std::fprintf(stderr, "pcsim: unknown workload '%s'\n",
+                             opt.workloads[0].c_str());
+                return 1;
+            }
+            sopt.workload = canonical;
+        }
+        if (opt.scaleSet)
+            sopt.scale = opt.scale;
+        if (opt.repeatsSet)
+            sopt.repeats = opt.benchRepeats;
+        sopt.jsonPath = opt.jsonPath;
+        sopt.quiet = opt.quiet;
+        return runner::runScaleSweep(sopt);
+    }
     if (cmd == "bench") {
         runner::BenchOptions bopt;
         bopt.kernelEvents = opt.benchEvents;

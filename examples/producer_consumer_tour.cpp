@@ -42,9 +42,9 @@ show(const char *phase)
     const NodeId home = g_sys->memMap().homeOf(g_line);
     DirEntry d = g_sys->hub(home).homeDirEntry(g_line);
     std::printf("\n--- %s ---\n", phase);
-    std::printf("  home node %u: state=%s sharers=0x%x owner=%d "
+    std::printf("  home node %u: state=%s sharers=%s owner=%d "
                 "memVersion=%u\n",
-                home, dirStateName(d.state), d.sharers,
+                home, dirStateName(d.state), d.sharers.toString().c_str(),
                 d.owner == invalidNode ? -1 : int(d.owner),
                 d.memVersion);
     for (unsigned n = 0; n < g_sys->numNodes(); ++n) {
@@ -62,9 +62,10 @@ show(const char *phase)
             std::printf("  RAC=v%u%s%s", rv, pinned ? " (pinned)" : "",
                         "");
         if (pe)
-            std::printf("  [delegated here: %s, sharers=0x%x, "
+            std::printf("  [delegated here: %s, sharers=%s, "
                         "epochs=%u]",
-                        dirStateName(pe->dir.state), pe->dir.sharers,
+                        dirStateName(pe->dir.state),
+                        pe->dir.sharers.toString().c_str(),
                         pe->epochs);
         std::printf("\n");
     }

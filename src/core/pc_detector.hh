@@ -2,16 +2,20 @@
  * @file
  * Producer-consumer sharing pattern detector (Section 2.2).
  *
- * Each directory cache entry is extended by 8 bits:
- *   - last writer    (4 bits): last node to write the line,
+ * Each directory cache entry is extended by a handful of bits:
+ *   - last writer    (ceil(log2(numNodes)) bits): last node to write
+ *     the line -- 4 bits for the paper's 16-node machine,
  *   - reader count   (2 bits, saturating): reads from nodes other than
  *     the last writer since its last write,
  *   - write repeat   (2 bits, saturating): incremented each time two
  *     consecutive writes come from the same node with at least one
  *     intervening read.
  *
- * The line is marked producer-consumer when the write-repeat counter
- * saturates. The detector matches the regular expression
+ * At N=16 that is the paper's 8 bits per entry; the simulator derives
+ * the width from the node count (pcDetectorBitsPerEntry) so larger
+ * machines account the real hardware cost. The line is marked
+ * producer-consumer when the write-repeat counter saturates. The
+ * detector matches the regular expression
  *   ... (Wi) (R_{j != i})+ (Wi) (R_{k != i})+ ...
  * and deliberately rejects multi-writer lines (e.g. CG's false
  * sharing), exactly as the paper's conservative detector does.
@@ -37,15 +41,28 @@ struct PcDetectorConfig
     std::uint8_t readerCountSaturation = 3; ///< 2-bit counter maximum
 };
 
-/** The 8 detector bits attached to one directory cache entry. */
+/** Width of the last-writer field for an @p num_nodes machine. */
+constexpr unsigned
+pcDetectorWriterBits(unsigned num_nodes)
+{
+    return num_nodes <= 1 ? 1 : log2Ceil(num_nodes);
+}
+
+/** Total detector bits per directory-cache entry: last writer plus
+ *  the two 2-bit counters (== 8 at the paper's N=16). */
+constexpr unsigned
+pcDetectorBitsPerEntry(unsigned num_nodes)
+{
+    return pcDetectorWriterBits(num_nodes) + 4;
+}
+
+/** The detector bits attached to one directory cache entry. */
 struct PcDetectorState
 {
-    static constexpr std::uint8_t noWriter = 0xff;
-
-    std::uint8_t lastWriter = noWriter; ///< 4-bit field in hardware
-    std::uint8_t lastReader = noWriter; ///< uniqueness filter (see note)
-    std::uint8_t readerCount = 0;       ///< 2-bit saturating
-    std::uint8_t writeRepeat = 0;       ///< 2-bit saturating
+    NodeId lastWriter = invalidNode; ///< log2(numNodes)-bit field in hw
+    NodeId lastReader = invalidNode; ///< uniqueness filter (see note)
+    std::uint8_t readerCount = 0;    ///< 2-bit saturating
+    std::uint8_t writeRepeat = 0;    ///< 2-bit saturating
 
     /** Record a read request from @p node.
      *
@@ -56,12 +73,11 @@ struct PcDetectorState
     void
     onRead(NodeId node, const PcDetectorConfig &cfg = {})
     {
-        const std::uint8_t n = static_cast<std::uint8_t>(node);
-        if (n == lastWriter)
+        if (node == lastWriter)
             return;
-        if (n == lastReader && readerCount > 0)
+        if (node == lastReader && readerCount > 0)
             return;
-        lastReader = n;
+        lastReader = node;
         if (readerCount < cfg.readerCountSaturation)
             ++readerCount;
     }
@@ -74,8 +90,7 @@ struct PcDetectorState
     bool
     onWrite(NodeId node, const PcDetectorConfig &cfg = {})
     {
-        const std::uint8_t n = static_cast<std::uint8_t>(node);
-        if (lastWriter == n) {
+        if (lastWriter == node) {
             if (readerCount > 0 &&
                 writeRepeat < cfg.writeRepeatSaturation) {
                 ++writeRepeat;
@@ -85,10 +100,10 @@ struct PcDetectorState
         } else {
             // A different writer breaks the single-producer pattern.
             writeRepeat = 0;
-            lastWriter = n;
+            lastWriter = node;
         }
         readerCount = 0;
-        lastReader = noWriter;
+        lastReader = invalidNode;
         return isProducerConsumer(cfg);
     }
 

@@ -18,6 +18,7 @@
 
 #include "src/cache/cache_array.hh"
 #include "src/core/pc_detector.hh"
+#include "src/mem/sharer_set.hh"
 #include "src/net/message.hh"
 #include "src/sim/types.hh"
 
@@ -53,7 +54,7 @@ dirStateName(DirState s)
 struct DirEntry
 {
     DirState state = DirState::Unowned;
-    std::uint32_t sharers = 0;  ///< bit-vector of nodes with S copies
+    SharerSet sharers;          ///< sharing vector of nodes with S copies
     NodeId owner = invalidNode; ///< owner (Excl) or delegatee (Dele)
 
     /** Pending-transaction bookkeeping while Busy*. */
@@ -73,11 +74,10 @@ struct DirEntry
         return state == DirState::BusyRead || state == DirState::BusyExcl;
     }
 
-    static std::uint32_t bit(NodeId n) { return 1u << n; }
-    bool isSharer(NodeId n) const { return sharers & bit(n); }
-    void addSharer(NodeId n) { sharers |= bit(n); }
-    void removeSharer(NodeId n) { sharers &= ~bit(n); }
-    unsigned numSharers() const { return __builtin_popcount(sharers); }
+    bool isSharer(NodeId n) const { return sharers.contains(n); }
+    void addSharer(NodeId n) { sharers.add(n); }
+    void removeSharer(NodeId n) { sharers.remove(n); }
+    unsigned numSharers() const { return sharers.countSlots(); }
 };
 
 /** Directory cache entry: protocol state + the 8 detector bits. */
@@ -98,8 +98,14 @@ class DirectoryStore
      *        on first touch) and the load factor capped, so the table
      *        never rehashes mid-run and pollutes the kernel telemetry
      *        with reallocation pauses.
+     * @param sharer_granularity_log2 coarse-vector granularity
+     *        imprinted on every entry created here (0 = exact, one
+     *        bit per node); copies of these entries carry it through
+     *        the rest of the protocol stack.
      */
-    explicit DirectoryStore(std::size_t expected_lines = 0)
+    explicit DirectoryStore(std::size_t expected_lines = 0,
+                            unsigned sharer_granularity_log2 = 0)
+        : _granularityLog2(sharer_granularity_log2)
     {
         _entries.max_load_factor(0.7f);
         if (expected_lines)
@@ -110,7 +116,10 @@ class DirectoryStore
     DirEntry &
     lookup(Addr line)
     {
-        return _entries[line];
+        auto [it, inserted] = _entries.try_emplace(line);
+        if (inserted && _granularityLog2)
+            it->second.sharers.setGranularityLog2(_granularityLog2);
+        return it->second;
     }
 
     const DirEntry *
@@ -137,6 +146,7 @@ class DirectoryStore
     }
 
   private:
+    unsigned _granularityLog2;
     std::unordered_map<Addr, DirEntry> _entries;
 };
 

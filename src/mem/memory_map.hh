@@ -36,6 +36,11 @@ class MemoryMap
     {
         if (num_nodes == 0)
             fatal("memory map needs nodes");
+        if (num_nodes >= invalidNode)
+            fatal("memory map: %u nodes exceed the NodeId range",
+                  num_nodes);
+        if (page_bytes == 0)
+            fatal("memory map needs a nonzero page size");
     }
 
     std::uint32_t pageBytes() const { return _pageBytes; }

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * SharerSet: the sharing-vector representation used throughout the
+ * protocol stack (directory entries, producer tables, Delegate/Undele
+ * message payloads, the checker's holder sets).
+ *
+ * Machines up to 64 nodes fit in one inline word (no allocation on
+ * any hot path); larger machines spill extra words into a heap
+ * vector. A coarse mode (SGI-Origin-style) maps 2^granularityLog2
+ * consecutive nodes onto one bit: membership becomes conservative
+ * (adding one node marks its whole group), which trades directory
+ * width for spurious invalidations -- the protocol layers iterate
+ * with forEachNode() and must tolerate invalidating non-holders.
+ *
+ * Iteration is always ascending by node id, independent of insertion
+ * order, so the message sequences it drives are deterministic and --
+ * at granularity 1 -- identical to the historical
+ * `for (n = 0; n < numNodes; ++n) if (isSharer(n))` loops.
+ */
+
+#ifndef PCSIM_MEM_SHARER_SET_HH
+#define PCSIM_MEM_SHARER_SET_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/logging.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+class SharerSet
+{
+  public:
+    SharerSet() = default;
+
+    /** An empty set tracking 2^granularity_log2 nodes per bit. */
+    explicit SharerSet(unsigned granularity_log2)
+        : _shift(static_cast<std::uint8_t>(granularity_log2))
+    {
+    }
+
+    /** Nodes per bit (1 = exact vector). */
+    unsigned granularity() const { return 1u << _shift; }
+    unsigned granularityLog2() const { return _shift; }
+
+    /**
+     * Change the granularity of an EMPTY set (re-mapping live members
+     * would corrupt the vector). DirectoryStore imprints the
+     * configured granularity on entry creation; every other set picks
+     * it up by copy assignment.
+     */
+    void
+    setGranularityLog2(unsigned granularity_log2)
+    {
+        if (!empty() && granularity_log2 != _shift)
+            panic("SharerSet: cannot change granularity of a non-empty "
+                  "set (%u -> %u)",
+                  _shift, granularity_log2);
+        _shift = static_cast<std::uint8_t>(granularity_log2);
+    }
+
+    /** Mark @p n present (coarse: marks its whole node group). */
+    void
+    add(NodeId n)
+    {
+        const unsigned s = slotOf(n);
+        if (s < bitsPerWord) {
+            _w0 |= std::uint64_t{1} << s;
+            return;
+        }
+        const std::size_t w = s / bitsPerWord - 1;
+        if (_ext.size() <= w)
+            _ext.resize(w + 1, 0);
+        _ext[w] |= std::uint64_t{1} << (s % bitsPerWord);
+    }
+
+    /**
+     * Clear the bit covering @p n. Coarse granularity: clears the
+     * whole group -- callers that need node-accurate removal must run
+     * at granularity 1 or re-add surviving group members.
+     */
+    void
+    remove(NodeId n)
+    {
+        const unsigned s = slotOf(n);
+        if (s < bitsPerWord) {
+            _w0 &= ~(std::uint64_t{1} << s);
+            return;
+        }
+        const std::size_t w = s / bitsPerWord - 1;
+        if (w < _ext.size())
+            _ext[w] &= ~(std::uint64_t{1} << (s % bitsPerWord));
+    }
+
+    /** Is the bit covering @p n set? Coarse: true for any node whose
+     *  group contains a member (conservative superset semantics). */
+    bool
+    contains(NodeId n) const
+    {
+        const unsigned s = slotOf(n);
+        if (s < bitsPerWord)
+            return (_w0 >> s) & 1;
+        const std::size_t w = s / bitsPerWord - 1;
+        return w < _ext.size() && ((_ext[w] >> (s % bitsPerWord)) & 1);
+    }
+
+    /** Drop all members; the granularity is preserved. */
+    void
+    clear()
+    {
+        _w0 = 0;
+        _ext.clear();
+    }
+
+    bool
+    empty() const
+    {
+        if (_w0)
+            return false;
+        for (std::uint64_t w : _ext)
+            if (w)
+                return false;
+        return true;
+    }
+
+    /** Number of set bits (groups in coarse mode). */
+    unsigned
+    countSlots() const
+    {
+        unsigned c = __builtin_popcountll(_w0);
+        for (std::uint64_t w : _ext)
+            c += __builtin_popcountll(w);
+        return c;
+    }
+
+    /** Number of nodes covered by set bits, capped at @p num_nodes
+     *  (== countSlots() at granularity 1). */
+    unsigned
+    countNodes(unsigned num_nodes) const
+    {
+        unsigned c = 0;
+        forEachNode(num_nodes, [&](NodeId) { ++c; });
+        return c;
+    }
+
+    /**
+     * Visit every covered node id below @p num_nodes in ascending
+     * order. Coarse granularity expands each set bit into its node
+     * group, so the visit sequence is exactly what the invalidation /
+     * update fan-out loops need.
+     */
+    template <typename Fn>
+    void
+    forEachNode(unsigned num_nodes, Fn &&fn) const
+    {
+        forEachSlot([&](unsigned s) {
+            const std::uint64_t first = std::uint64_t{s} << _shift;
+            std::uint64_t last = first + granularity();
+            if (last > num_nodes)
+                last = num_nodes;
+            for (std::uint64_t n = first; n < last; ++n)
+                fn(static_cast<NodeId>(n));
+        });
+    }
+
+    /** Visit every set bit index in ascending order. */
+    template <typename Fn>
+    void
+    forEachSlot(Fn &&fn) const
+    {
+        visitWord(_w0, 0, fn);
+        for (std::size_t w = 0; w < _ext.size(); ++w)
+            visitWord(_ext[w], (w + 1) * bitsPerWord, fn);
+    }
+
+    /** Set union; granularities must agree (empty sets adopt). */
+    SharerSet &
+    operator|=(const SharerSet &o)
+    {
+        if (o._shift != _shift) {
+            if (empty())
+                _shift = o._shift;
+            else if (!o.empty())
+                panic("SharerSet: union of mismatched granularities "
+                      "(%u vs %u)",
+                      _shift, o._shift);
+        }
+        _w0 |= o._w0;
+        if (_ext.size() < o._ext.size())
+            _ext.resize(o._ext.size(), 0);
+        for (std::size_t w = 0; w < o._ext.size(); ++w)
+            _ext[w] |= o._ext[w];
+        return *this;
+    }
+
+    bool
+    operator==(const SharerSet &o) const
+    {
+        if (_shift != o._shift && !(empty() && o.empty()))
+            return false;
+        if (_w0 != o._w0)
+            return false;
+        const std::size_t n = std::max(_ext.size(), o._ext.size());
+        for (std::size_t w = 0; w < n; ++w)
+            if (extWord(w) != o.extWord(w))
+                return false;
+        return true;
+    }
+
+    bool operator!=(const SharerSet &o) const { return !(*this == o); }
+
+    /** True once the vector has spilled past the inline word. */
+    bool usesHeap() const { return !_ext.empty(); }
+
+    /** Hex bit-vector image, e.g. "0x5" (high words first). */
+    std::string
+    toString() const
+    {
+        char buf[32];
+        std::size_t top = _ext.size();
+        while (top > 0 && _ext[top - 1] == 0)
+            --top;
+        if (top == 0) {
+            std::snprintf(buf, sizeof(buf), "0x%llx",
+                          (unsigned long long)_w0);
+            return buf;
+        }
+        std::snprintf(buf, sizeof(buf), "0x%llx",
+                      (unsigned long long)_ext[top - 1]);
+        std::string out = buf;
+        for (std::size_t w = top - 1; w-- > 0;) {
+            std::snprintf(buf, sizeof(buf), "%016llx",
+                          (unsigned long long)_ext[w]);
+            out += buf;
+        }
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      (unsigned long long)_w0);
+        out += buf;
+        return out;
+    }
+
+  private:
+    static constexpr unsigned bitsPerWord = 64;
+
+    unsigned slotOf(NodeId n) const { return unsigned{n} >> _shift; }
+
+    std::uint64_t
+    extWord(std::size_t w) const
+    {
+        return w < _ext.size() ? _ext[w] : 0;
+    }
+
+    template <typename Fn>
+    static void
+    visitWord(std::uint64_t word, unsigned base, Fn &&fn)
+    {
+        while (word) {
+            const unsigned b = __builtin_ctzll(word);
+            fn(base + b);
+            word &= word - 1;
+        }
+    }
+
+    std::uint64_t _w0 = 0;           ///< slots 0..63 (inline)
+    std::vector<std::uint64_t> _ext; ///< slots 64+ (heap, large N)
+    std::uint8_t _shift = 0;         ///< log2(nodes per bit)
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_MEM_SHARER_SET_HH

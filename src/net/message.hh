@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/mem/sharer_set.hh"
 #include "src/sim/types.hh"
 
 namespace pcsim
@@ -82,7 +83,7 @@ struct Message
 
     Version version = 0;        ///< line write-epoch (data abstraction)
     bool dirty = false;         ///< data differs from home memory
-    std::uint32_t sharers = 0;  ///< sharer bit-vector (Delegate/Undele)
+    SharerSet sharers;          ///< sharing vector (Delegate/Undele)
     std::uint16_t ackCount = 0; ///< invalidation acks to expect
     NodeId hintHome = invalidNode; ///< delegated home (HomeHint)
     NodeId owner = invalidNode; ///< owner field (Delegate/Undele)

@@ -29,8 +29,14 @@ class FatTreeTopology
     {
         if (num_nodes == 0)
             fatal("topology needs at least one node");
+        if (num_nodes >= invalidNode)
+            fatal("topology: %u leaves exceed the NodeId range",
+                  num_nodes);
         if (radix < 2)
             fatal("router radix must be >= 2");
+        // Any leaf count is legal, not just powers of the radix: a
+        // partially filled last router level simply leaves ports
+        // unused, and hops() only ever divides by the radix.
         // Depth of the tree: number of router levels needed so that
         // radix^depth >= numNodes.
         _depth = 1;

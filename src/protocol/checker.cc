@@ -75,7 +75,7 @@ CoherenceChecker::checkLineQuiescent(Addr line, Version cur,
 
     unsigned owners = 0;
     NodeId ownerNode = invalidNode;
-    std::uint32_t holderMask = 0;
+    SharerSet holders; // exact (granularity 1) regardless of config
 
     for (std::size_t n = 0; n < _nodes.size(); ++n) {
         Version v;
@@ -115,19 +115,20 @@ CoherenceChecker::checkLineQuiescent(Addr line, Version cur,
             }
         }
         if (holds)
-            holderMask |= 1u << n;
+            holders.add(static_cast<NodeId>(n));
     }
 
     if (owners > 1)
         panic("quiescent: %u owners of 0x%llx", owners,
               (unsigned long long)line);
     if (owners == 1) {
-        const std::uint32_t others =
-            holderMask & ~(1u << ownerNode);
-        if (others) {
+        SharerSet others = holders;
+        others.remove(ownerNode);
+        if (!others.empty()) {
             panic("quiescent: owner %u of 0x%llx coexists with "
-                  "holders 0x%x",
-                  ownerNode, (unsigned long long)line, others);
+                  "holders %s",
+                  ownerNode, (unsigned long long)line,
+                  others.toString().c_str());
         }
     }
 
@@ -158,16 +159,25 @@ CoherenceChecker::checkLineQuiescent(Addr line, Version cur,
 
     switch (dir.state) {
       case DirState::Unowned:
-        if (holderMask)
-            panic("quiescent: 0x%llx Unowned but held by 0x%x",
-                  (unsigned long long)line, holderMask);
+        if (!holders.empty())
+            panic("quiescent: 0x%llx Unowned but held by %s",
+                  (unsigned long long)line,
+                  holders.toString().c_str());
         break;
       case DirState::Shared:
-        if (holderMask & ~dir.sharers) {
-            panic("quiescent: 0x%llx holders 0x%x not covered by "
-                  "sharers 0x%x",
-                  (unsigned long long)line, holderMask, dir.sharers);
-        }
+        // The directory must cover every holder; a coarse sharing
+        // vector covers conservatively (whole node groups), which
+        // contains() honors.
+        holders.forEachNode(static_cast<unsigned>(_nodes.size()),
+                            [&](NodeId n) {
+                                if (!dir.sharers.contains(n)) {
+                                    panic("quiescent: 0x%llx holder %u "
+                                          "not covered by sharers %s",
+                                          (unsigned long long)line, n,
+                                          dir.sharers.toString()
+                                              .c_str());
+                                }
+                            });
         if (owners)
             panic("quiescent: 0x%llx Shared but node %u owns it",
                   (unsigned long long)line, ownerNode);

@@ -1,0 +1,92 @@
+#include "src/protocol/config.hh"
+
+#include <cstdio>
+
+#include "src/sim/logging.hh"
+
+namespace pcsim
+{
+
+namespace
+{
+
+std::string
+format(const char *fmt, unsigned long long a, unsigned long long b = 0)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), fmt, a, b);
+    return buf;
+}
+
+} // namespace
+
+std::string
+ProtocolConfig::validateError() const
+{
+    if (numNodes == 0)
+        return "numNodes must be at least 1";
+    if (numNodes > maxNodes)
+        return format("numNodes %llu exceeds the supported maximum %llu",
+                      numNodes, maxNodes);
+    if (numNodes >= invalidNode)
+        return format("numNodes %llu does not fit the NodeId "
+                      "representation (max %llu)",
+                      numNodes, invalidNode - 1ull);
+    if (!isPowerOfTwo(lineBytes) || lineBytes < 8)
+        return format("lineBytes %llu must be a power of two >= 8",
+                      lineBytes);
+    if (sharerGranularityLog2 > log2Ceil(numNodes))
+        return format("sharerGranularityLog2 %llu groups more than "
+                      "numNodes=%llu nodes per sharer bit",
+                      sharerGranularityLog2, numNodes);
+    if (mshrs == 0)
+        return "mshrs must be at least 1";
+    if (maxRetries == 0)
+        return "maxRetries must be at least 1";
+
+    if (l1.sizeBytes == 0 || l1.ways == 0 ||
+        l1.sizeBytes < l1.ways * l1.lineBytes)
+        return "L1 geometry is degenerate (size/ways/lineBytes)";
+    if (l2SizeBytes == 0 || l2Ways == 0 ||
+        (l2SetsOverride == 0 && l2SizeBytes < l2Ways * lineBytes))
+        return "L2 geometry is degenerate (size/ways/lineBytes)";
+
+    if (dirCache.entries == 0 || dirCache.ways == 0 ||
+        dirCache.entries < dirCache.ways)
+        return format("directory cache needs entries (%llu) >= ways "
+                      "(%llu), both nonzero",
+                      dirCache.entries, dirCache.ways);
+
+    if (racEnabled) {
+        if (rac.sizeBytes == 0 || rac.ways == 0 ||
+            rac.sizeBytes < rac.ways * rac.lineBytes)
+            return "RAC geometry is degenerate (size/ways/lineBytes)";
+    }
+    if (delegationEnabled) {
+        if (!racEnabled)
+            return "delegation requires a RAC (pinned surrogate "
+                   "memory): enable racEnabled";
+        if (delegate.producerEntries == 0 ||
+            delegate.consumerEntries == 0 || delegate.ways == 0)
+            return "delegate cache needs nonzero producer/consumer "
+                   "entries and ways";
+        if (delegate.producerEntries < delegate.ways)
+            return format("delegate cache needs producerEntries "
+                          "(%llu) >= ways (%llu)",
+                          delegate.producerEntries, delegate.ways);
+    }
+    if (updatesEnabled && !delegationEnabled)
+        return "speculative updates require delegation: enable "
+               "delegationEnabled";
+    return "";
+}
+
+void
+ProtocolConfig::validate() const
+{
+    const std::string err = validateError();
+    if (!err.empty())
+        fatal("invalid protocol configuration: %s", err.c_str());
+}
+
+} // namespace pcsim

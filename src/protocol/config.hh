@@ -7,6 +7,7 @@
 #define PCSIM_PROTOCOL_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "src/cache/l1_cache.hh"
 #include "src/core/delegate_cache.hh"
@@ -23,7 +24,17 @@ namespace pcsim
 /** Everything a node and its controllers need to know. */
 struct ProtocolConfig
 {
+    /** Largest machine the protocol stack is validated for. The
+     *  SharerSet representation itself scales further, but NodeId and
+     *  the workload suite are only exercised to this size. */
+    static constexpr unsigned maxNodes = 4096;
+
     unsigned numNodes = 16;
+    /** Coarse sharing-vector granularity: log2 of the nodes covered
+     *  by one directory sharer bit (0 = exact, one bit per node).
+     *  Nonzero values trade directory width for spurious
+     *  invalidations, SGI-Origin style. */
+    unsigned sharerGranularityLog2 = 0;
     std::uint32_t lineBytes = 128; ///< coherence granularity (L2 line)
 
     // Processor-side hierarchy (Table 1).
@@ -71,6 +82,20 @@ struct ProtocolConfig
 
     /** Run the coherence/SC invariant checker (Section 2.5). */
     bool checkerEnabled = true;
+
+    /**
+     * Sanity-check the configuration (node count fits the
+     * representation, power-of-two line size, nonzero structure
+     * sizes, mechanism dependencies).
+     * @return "" when valid, else a human-readable description of the
+     *         first problem found.
+     */
+    std::string validateError() const;
+
+    /** validateError(), but fatal() with the message on failure.
+     *  System construction calls this; CLIs should prefer
+     *  validateError() for friendlier reporting. */
+    void validate() const;
 };
 
 } // namespace pcsim

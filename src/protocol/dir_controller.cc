@@ -11,7 +11,7 @@ namespace pcsim
 DirController::DirController(Hub &hub, Rng rng)
     : _hub(hub),
       _cfg(hub.cfg()),
-      _store(_cfg.dirReserveLines),
+      _store(_cfg.dirReserveLines, _cfg.sharerGranularityLog2),
       _dirCache(_cfg.dirCache, _store, rng.fork()),
       _dram(_cfg.dram),
       _rng(rng.fork())
@@ -174,7 +174,7 @@ DirController::handleWrite(const Message &msg, DirCacheEntry &e,
       case DirState::Unowned: {
         d.state = DirState::Excl;
         d.owner = req;
-        d.sharers = 0;
+        d.sharers.clear();
         Message resp;
         resp.type = MsgType::RespExclData;
         resp.addr = msg.addr;
@@ -192,15 +192,20 @@ DirController::handleWrite(const Message &msg, DirCacheEntry &e,
         // Table 3 instrumentation: consumers per producer-consumer
         // write = sharers being invalidated (excluding the writer).
         if (e.detector.isProducerConsumer(_cfg.detector)) {
-            const std::uint32_t others =
-                d.sharers & ~DirEntry::bit(req);
-            _hub.sampleConsumers(msg.addr, __builtin_popcount(others));
+            unsigned others = 0;
+            d.sharers.forEachNode(_cfg.numNodes, [&](NodeId n) {
+                others += n != req;
+            });
+            _hub.sampleConsumers(msg.addr, others);
         }
         // Invalidate every other sharer; acks go to the requester.
+        // Coarse vectors expand to whole node groups here: members
+        // without a copy simply ack (the ack count matches the invals
+        // sent, so the requester's bookkeeping still balances).
         std::uint16_t acks = 0;
-        for (NodeId n = 0; n < _cfg.numNodes; ++n) {
-            if (n == req || !d.isSharer(n))
-                continue;
+        d.sharers.forEachNode(_cfg.numNodes, [&](NodeId n) {
+            if (n == req)
+                return;
             ++acks;
             ++_hub.stats().interventionsSent;
             Message iv;
@@ -213,10 +218,10 @@ DirController::handleWrite(const Message &msg, DirCacheEntry &e,
             // for older epochs can be recognized and dropped.
             iv.version = d.memVersion;
             _hub.sendAt(ready, iv);
-        }
+        });
         d.state = DirState::Excl;
         d.owner = req;
-        d.sharers = 0;
+        d.sharers.clear();
 
         Message resp;
         resp.addr = msg.addr;
@@ -286,7 +291,7 @@ DirController::delegate(Addr line, NodeId producer, DirCacheEntry &e,
 
     d.state = DirState::Dele;
     d.owner = producer;
-    d.sharers = 0;
+    d.sharers.clear();
     // The detector bits are repurposed while the entry is delegated;
     // after an undelegation the pattern must re-saturate before the
     // line is delegated again, which throttles conflict churn when
@@ -357,7 +362,7 @@ DirController::handleWriteback(const Message &msg)
         d.memVersion = msg.version;
         d.state = DirState::Unowned;
         d.owner = invalidNode;
-        d.sharers = 0;
+        d.sharers.clear();
         break;
 
       case DirState::BusyRead:
@@ -393,8 +398,9 @@ DirController::handleSharedWriteback(const Message &msg)
 
     d.memVersion = msg.version;
     d.state = DirState::Shared;
-    d.sharers = DirEntry::bit(d.pendingOwner) |
-                DirEntry::bit(d.pendingReq);
+    d.sharers.clear();
+    d.sharers.add(d.pendingOwner);
+    d.sharers.add(d.pendingReq);
     d.owner = invalidNode;
     d.pendingReq = invalidNode;
     d.pendingOwner = invalidNode;
@@ -413,7 +419,7 @@ DirController::handleTransferAck(const Message &msg)
 
     d.state = DirState::Excl;
     d.owner = d.pendingReq;
-    d.sharers = 0;
+    d.sharers.clear();
     // Memory stays stale: the data moved owner-to-owner.
     d.pendingReq = invalidNode;
     d.pendingOwner = invalidNode;
@@ -441,14 +447,15 @@ DirController::handleIntervNack(const Message &msg)
         if (d.state == DirState::BusyRead) {
             resp.type = MsgType::RespSharedData;
             d.state = DirState::Shared;
-            d.sharers = DirEntry::bit(d.pendingReq);
+            d.sharers.clear();
+            d.sharers.add(d.pendingReq);
             d.owner = invalidNode;
         } else {
             resp.type = MsgType::RespExclData;
             resp.ackCount = 0;
             d.state = DirState::Excl;
             d.owner = d.pendingReq;
-            d.sharers = 0;
+            d.sharers.clear();
         }
         d.pendingWb = false;
         d.pendingReq = invalidNode;
@@ -471,7 +478,7 @@ DirController::handleIntervNack(const Message &msg)
 
     d.state = DirState::Excl;
     d.owner = d.pendingOwner;
-    d.sharers = 0;
+    d.sharers.clear();
     d.pendingReq = invalidNode;
     d.pendingOwner = invalidNode;
 
@@ -499,14 +506,14 @@ DirController::handleUndele(const Message &msg)
     if (msg.owner != invalidNode) {
         d.state = DirState::Excl;
         d.owner = msg.owner;
-        d.sharers = 0;
-    } else if (msg.sharers) {
+        d.sharers.clear();
+    } else if (!msg.sharers.empty()) {
         d.state = DirState::Shared;
         d.sharers = msg.sharers;
         d.owner = invalidNode;
     } else {
         d.state = DirState::Unowned;
-        d.sharers = 0;
+        d.sharers.clear();
         d.owner = invalidNode;
     }
 

@@ -6,6 +6,7 @@
 #ifndef PCSIM_PROTOCOL_NODE_STATS_HH
 #define PCSIM_PROTOCOL_NODE_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 
 namespace pcsim
@@ -61,10 +62,19 @@ struct NodeStats
     // Writebacks.
     std::uint64_t writebacks = 0;
 
+    /** Hardware cost accounting, not a counter: detector bits per
+     *  directory-cache entry for this machine size (8 at the paper's
+     *  N=16, see pcDetectorBitsPerEntry). Set once at construction,
+     *  preserved across reset(), merged by max. Deliberately NOT in
+     *  the serialized results schema. */
+    std::uint32_t detectorBitsPerEntry = 0;
+
     void
     reset()
     {
+        const std::uint32_t bits = detectorBitsPerEntry;
         *this = NodeStats{};
+        detectorBitsPerEntry = bits;
     }
 
     NodeStats &
@@ -100,6 +110,8 @@ struct NodeStats
         updatesDropped += o.updatesDropped;
         extraWriteMisses += o.extraWriteMisses;
         writebacks += o.writebacks;
+        detectorBitsPerEntry =
+            std::max(detectorBitsPerEntry, o.detectorBitsPerEntry);
         return *this;
     }
 };

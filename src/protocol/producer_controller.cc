@@ -98,8 +98,9 @@ ProducerController::handleDelegate(const Message &msg)
 
     ++_hub.stats().delegationsReceived;
     PCSIM_DPRINTF(DebugDelegate, _hub.curTick(),
-                  "node %u: delegated 0x%llx (sharers=0x%x)", _hub.id(),
-                  (unsigned long long)line, msg.sharers);
+                  "node %u: delegated 0x%llx (sharers=%s)", _hub.id(),
+                  (unsigned long long)line,
+                  msg.sharers.toString().c_str());
 
     // The delegation was triggered by our own pending write: serve it
     // now as the acting home (Figure 4a step 8: "convert delegate msg
@@ -182,25 +183,31 @@ ProducerController::serveLocalWrite(const Message &msg, ProducerEntry &e)
         ++_hub.stats().extraWriteMisses;
     }
 
-    // Invalidate every consumer copy; acks flow to our own MSHR.
+    // Invalidate every consumer copy; acks flow to our own MSHR. Only
+    // ourselves (the producer) is skipped: under a coarse vector our
+    // group-mates may genuinely hold copies behind our own group bit,
+    // so they must see the invalidation too.
+    const NodeId self = _hub.id();
+    unsigned consumers = 0;
+    e.dir.sharers.forEachNode(_cfg.numNodes, [&](NodeId n) {
+        consumers += n != self;
+    });
+    _hub.sampleConsumers(line, consumers);
     std::uint16_t acks = 0;
-    const std::uint32_t targets =
-        e.dir.sharers & ~DirEntry::bit(_hub.id());
-    _hub.sampleConsumers(line, __builtin_popcount(targets));
-    for (NodeId n = 0; n < _cfg.numNodes; ++n) {
-        if (!(targets & DirEntry::bit(n)))
-            continue;
+    e.dir.sharers.forEachNode(_cfg.numNodes, [&](NodeId n) {
+        if (n == self)
+            return;
         ++acks;
         ++_hub.stats().interventionsSent;
         Message iv;
         iv.type = MsgType::Inval;
         iv.addr = line;
         iv.dst = n;
-        iv.requester = _hub.id();
+        iv.requester = self;
         iv.txnId = msg.txnId;
         iv.version = e.dir.memVersion; // superseded epoch (see below)
         _hub.send(iv);
-    }
+    });
 
     // EXCL with the old sharing vector retained (Section 2.4.2): the
     // vector is the speculative-update target set; owner is the
@@ -250,7 +257,7 @@ ProducerController::serveRemoteRead(const Message &msg, ProducerEntry &e)
         completeEpoch(line, e, v);
     }
 
-    e.dir.sharers |= DirEntry::bit(req);
+    e.dir.sharers.add(req);
     Message resp;
     resp.type = MsgType::RespSharedData;
     resp.addr = line;
@@ -321,20 +328,21 @@ ProducerController::completeEpoch(Addr line, ProducerEntry &e,
     _timerTokens.erase(line);
     _lastDowngrade[line] = _hub.curTick();
 
-    const std::uint32_t update_set =
-        e.dir.sharers & ~DirEntry::bit(_hub.id());
+    const NodeId self = _hub.id();
     e.dir.state = DirState::Shared;
-    e.dir.sharers = update_set | DirEntry::bit(_hub.id());
+    e.dir.sharers.add(self);
     e.dir.owner = invalidNode;
 
     if (!_cfg.updatesEnabled || _cfg.interventionDelay == maxTick)
         return; // "infinite" delay (Figure 9): no speculative pushes
 
     // Push the new data to the predicted consumers (Section 2.4.2:
-    // the nodes that consumed the last version).
-    for (NodeId n = 0; n < _cfg.numNodes; ++n) {
-        if (!(update_set & DirEntry::bit(n)))
-            continue;
+    // the nodes that consumed the last version). Skipping only
+    // ourselves, a coarse vector also pushes to our group-mates;
+    // spurious pushes land in their RACs or are dropped.
+    e.dir.sharers.forEachNode(_cfg.numNodes, [&](NodeId n) {
+        if (n == self)
+            return;
         ++_hub.stats().updatesSent;
         Message up;
         up.type = MsgType::Update;
@@ -342,7 +350,7 @@ ProducerController::completeEpoch(Addr line, ProducerEntry &e,
         up.dst = n;
         up.version = version;
         _hub.sendIn(_cfg.busLatency, up);
-    }
+    });
 }
 
 void
@@ -403,13 +411,13 @@ ProducerController::undelegate(Addr line, ProducerEntry &e,
         // Our processor still holds the only (modified) copy; the RAC
         // surrogate is stale and must go.
         und.owner = _hub.id();
-        und.sharers = 0;
         rac->unpin(line, /*keep_data=*/false);
     } else {
         und.owner = invalidNode;
         // We keep a plain S copy in the RAC; make sure the restored
         // directory covers us.
-        und.sharers = e.dir.sharers | DirEntry::bit(_hub.id());
+        und.sharers = e.dir.sharers;
+        und.sharers.add(_hub.id());
         rac->unpin(line, /*keep_data=*/true);
     }
 

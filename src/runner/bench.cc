@@ -10,6 +10,7 @@
 #include "src/sim/event_queue.hh"
 #include "src/sim/json.hh"
 #include "src/sim/logging.hh"
+#include "src/system/presets.hh"
 #include "src/system/system.hh"
 
 namespace pcsim
@@ -296,6 +297,135 @@ runBenchSuite(const BenchOptions &opt)
             std::printf("%-24s | %10.4f | %12.0f |\n", br.name.c_str(),
                         br.wallSeconds, br.eventsPerSec);
     }
+
+    if (!opt.jsonPath.empty() &&
+        !writeTextFile(opt.jsonPath, doc.dump(2) + "\n"))
+        return 1;
+    return 0;
+}
+
+// --- node-count scaling sweep ------------------------------------
+
+namespace
+{
+
+/** One (nodes, config) point of the scaling sweep. */
+struct ScalePoint
+{
+    unsigned nodes = 0;
+    std::string config;
+    Tick cycles = 0;
+    std::uint64_t events = 0;
+    double wallSeconds = 0.0;
+    double eventsPerSec = 0.0;
+    NodeStats stats;
+    std::uint64_t netMessages = 0;
+    std::uint64_t netBytes = 0;
+};
+
+JsonValue
+toJson(const ScalePoint &p)
+{
+    JsonValue v = JsonValue::object();
+    v["nodes"] = JsonValue(std::uint64_t(p.nodes));
+    v["config"] = JsonValue(p.config);
+    v["cycles"] = JsonValue(p.cycles);
+    v["events"] = JsonValue(p.events);
+    v["wallSeconds"] = JsonValue(p.wallSeconds);
+    v["eventsPerSec"] = JsonValue(p.eventsPerSec);
+    JsonValue m = JsonValue::object();
+    m["l2Hits"] = JsonValue(p.stats.l2Hits);
+    m["localMisses"] = JsonValue(p.stats.localMisses);
+    m["remoteMisses"] = JsonValue(p.stats.remoteMisses);
+    m["racHits"] = JsonValue(p.stats.racHits);
+    m["twoHopMisses"] = JsonValue(p.stats.twoHopMisses);
+    m["threeHopMisses"] = JsonValue(p.stats.threeHopMisses);
+    m["updatesSent"] = JsonValue(p.stats.updatesSent);
+    m["updatesConsumed"] = JsonValue(p.stats.updatesConsumed);
+    v["missClasses"] = std::move(m);
+    v["netMessages"] = JsonValue(p.netMessages);
+    v["netBytes"] = JsonValue(p.netBytes);
+    v["detectorBitsPerEntry"] =
+        JsonValue(std::uint64_t(p.stats.detectorBitsPerEntry));
+    return v;
+}
+
+} // namespace
+
+int
+runScaleSweep(const ScaleOptions &opt)
+{
+    std::vector<unsigned> counts = opt.nodeCounts;
+    if (counts.empty())
+        counts = presets::scaleNodeCounts();
+
+    std::vector<ScalePoint> points;
+    for (unsigned n : counts) {
+        for (const auto &nc : presets::scaleConfigs(n)) {
+            MachineConfig cfg = nc.cfg;
+            cfg.proto.checkerEnabled = false;
+            const std::string err = cfg.proto.validateError();
+            if (!err.empty()) {
+                std::fprintf(stderr,
+                             "pcsim scale: invalid configuration "
+                             "'%s' at %u nodes: %s\n",
+                             nc.name.c_str(), n, err.c_str());
+                return 1;
+            }
+
+            ScalePoint p;
+            p.nodes = n;
+            p.config = nc.name;
+            for (unsigned rep = 0; rep < opt.repeats; ++rep) {
+                System sys(cfg);
+                auto wl = makeRunnerWorkload(opt.workload,
+                                             sys.numNodes(), opt.scale);
+                RunResult r = sys.run(*wl);
+                if (rep == 0 || r.perf.wallSeconds < p.wallSeconds) {
+                    p.cycles = r.cycles;
+                    p.events = r.perf.eventsExecuted;
+                    p.wallSeconds = r.perf.wallSeconds;
+                    p.stats = r.nodes;
+                    p.netMessages = r.netMessages;
+                    p.netBytes = r.netBytes;
+                }
+            }
+            p.eventsPerSec = p.wallSeconds > 0
+                                 ? double(p.events) / p.wallSeconds
+                                 : 0.0;
+            if (!opt.quiet)
+                std::fprintf(stderr,
+                             "scale: %3u nodes %-16s %12llu cycles "
+                             "%9.0f kev/s\n",
+                             n, p.config.c_str(),
+                             (unsigned long long)p.cycles,
+                             p.eventsPerSec / 1e3);
+            points.push_back(std::move(p));
+        }
+    }
+
+    JsonValue doc = JsonValue::object();
+    doc["schemaVersion"] = JsonValue(std::uint64_t(1));
+    doc["generator"] = JsonValue("pcsim scale");
+    doc["workload"] = JsonValue(opt.workload);
+    doc["scale"] = JsonValue(opt.scale);
+    doc["repeats"] = JsonValue(std::uint64_t(opt.repeats));
+    JsonValue arr = JsonValue::array();
+    for (const auto &p : points)
+        arr.push(toJson(p));
+    doc["results"] = std::move(arr);
+
+    std::printf("%5s | %-16s | %12s | %12s | %10s | %10s | %9s\n",
+                "nodes", "config", "cycles", "events/sec", "remote",
+                "racHits", "updates");
+    for (const auto &p : points)
+        std::printf("%5u | %-16s | %12llu | %12.0f | %10llu | %10llu "
+                    "| %9llu\n",
+                    p.nodes, p.config.c_str(),
+                    (unsigned long long)p.cycles, p.eventsPerSec,
+                    (unsigned long long)p.stats.remoteMisses,
+                    (unsigned long long)p.stats.racHits,
+                    (unsigned long long)p.stats.updatesSent);
 
     if (!opt.jsonPath.empty() &&
         !writeTextFile(opt.jsonPath, doc.dump(2) + "\n"))

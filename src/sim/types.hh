@@ -33,6 +33,23 @@ constexpr Tick maxTick = std::numeric_limits<Tick>::max();
 /** Sentinel for "no address". */
 constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
 
+/** Smallest b with 2^b >= v (log2Ceil(16) == 4, log2Ceil(1) == 0). */
+constexpr unsigned
+log2Ceil(std::uint64_t v)
+{
+    unsigned b = 0;
+    while ((std::uint64_t{1} << b) < v)
+        ++b;
+    return b;
+}
+
+/** Is @p v a power of two (0 is not)? */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
 } // namespace pcsim
 
 #endif // PCSIM_SIM_TYPES_HH

@@ -61,5 +61,29 @@ figure7Configs(unsigned num_nodes)
     };
 }
 
+std::vector<unsigned>
+scaleNodeCounts()
+{
+    return {16, 32, 64, 128, 256};
+}
+
+std::vector<NamedConfig>
+scaleConfigs(unsigned num_nodes)
+{
+    return {
+        {"base", base(num_nodes)},
+        {"delegation", delegationOnly(32, 32 * 1024, num_nodes)},
+        {"delegate-update", delegateUpdate(32, 32 * 1024, num_nodes)},
+    };
+}
+
+MachineConfig
+coarse(const MachineConfig &m, unsigned nodes_per_bit)
+{
+    MachineConfig out = m;
+    out.proto.sharerGranularityLog2 = log2Ceil(nodes_per_bit);
+    return out;
+}
+
 } // namespace presets
 } // namespace pcsim

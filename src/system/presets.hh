@@ -62,6 +62,23 @@ struct NamedConfig
 /** The six systems of Figure 7, in the paper's order. */
 std::vector<NamedConfig> figure7Configs(unsigned num_nodes = 16);
 
+/** Node counts of the scale-out sweep (`pcsim scale`): the paper's
+ *  16-node Altix up through a 256-node machine. */
+std::vector<unsigned> scaleNodeCounts();
+
+/**
+ * The three protocol stacks the node-count scaling sweep compares at
+ * each machine size: base directory, delegation only, and delegation
+ * + speculative updates (the paper's "small" sizing).
+ */
+std::vector<NamedConfig> scaleConfigs(unsigned num_nodes);
+
+/**
+ * A coarse-sharing-vector variant: @p nodes_per_bit (power of two)
+ * consecutive nodes share one directory bit, SGI-Origin style.
+ */
+MachineConfig coarse(const MachineConfig &m, unsigned nodes_per_bit);
+
 } // namespace presets
 } // namespace pcsim
 

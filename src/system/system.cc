@@ -13,6 +13,7 @@ System::System(const MachineConfig &cfg)
       _memMap(cfg.proto.numNodes, cfg.pageBytes),
       _net(_eq, cfg.proto.numNodes, cfg.net)
 {
+    cfg.proto.validate();
     Rng root(cfg.seed);
     std::vector<Hub *> hub_ptrs;
     for (unsigned n = 0; n < cfg.proto.numNodes; ++n) {

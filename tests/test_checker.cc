@@ -126,7 +126,7 @@ TEST(CheckerDeath, QuiescentStaleSharerDetected)
     n0.state = LineState::Shared;
     n0.version = 0; // stale copy
     n0.dir.state = DirState::Shared;
-    n0.dir.sharers = 1;
+    n0.dir.addSharer(0);
     n0.dir.memVersion = 1;
     EXPECT_DEATH(
         c.checkQuiescent([](Addr) { return NodeId(0); }),

@@ -131,7 +131,7 @@ TEST(PcDetector, ResetClearsEverything)
     ASSERT_TRUE(d.isProducerConsumer());
     d.reset();
     EXPECT_FALSE(d.isProducerConsumer());
-    EXPECT_EQ(d.lastWriter, PcDetectorState::noWriter);
+    EXPECT_EQ(d.lastWriter, invalidNode);
     EXPECT_EQ(d.writeRepeat, 0);
 }
 

@@ -111,7 +111,8 @@ TEST(DirectoryCache, MissFillsFromStore)
 {
     DirectoryStore store;
     store.lookup(0x1000).state = DirState::Shared;
-    store.lookup(0x1000).sharers = 0x5;
+    store.lookup(0x1000).addSharer(0);
+    store.lookup(0x1000).addSharer(2);
 
     DirectoryCache dc(smallDirCache(), store, Rng(1));
     bool miss;
@@ -119,7 +120,7 @@ TEST(DirectoryCache, MissFillsFromStore)
     ASSERT_NE(e, nullptr);
     EXPECT_TRUE(miss);
     EXPECT_EQ(e->dir.state, DirState::Shared);
-    EXPECT_EQ(e->dir.sharers, 0x5u);
+    EXPECT_EQ(e->dir.sharers.toString(), "0x5");
 
     dc.access(0x1000, miss);
     EXPECT_FALSE(miss);
@@ -150,7 +151,7 @@ TEST(DirectoryCache, EvictionPersistsProtocolStateDropsDetector)
     // ...but the detector bits were dropped (Section 2.2).
     DirCacheEntry *back = dc.access(0x1000, miss);
     EXPECT_EQ(back->dir.owner, 6);
-    EXPECT_EQ(back->detector.lastWriter, PcDetectorState::noWriter);
+    EXPECT_EQ(back->detector.lastWriter, invalidNode);
 }
 
 TEST(DirectoryCache, BusyEntriesAreNotEvictable)

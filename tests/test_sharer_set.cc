@@ -1,0 +1,233 @@
+/** @file SharerSet unit tests: inline word, heap spill, coarse
+ *  granularity, deterministic iteration order, and set operations. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/mem/sharer_set.hh"
+
+using namespace pcsim;
+
+namespace
+{
+
+std::vector<NodeId>
+nodesOf(const SharerSet &s, unsigned num_nodes)
+{
+    std::vector<NodeId> out;
+    s.forEachNode(num_nodes, [&](NodeId n) { out.push_back(n); });
+    return out;
+}
+
+std::vector<unsigned>
+slotsOf(const SharerSet &s)
+{
+    std::vector<unsigned> out;
+    s.forEachSlot([&](unsigned b) { out.push_back(b); });
+    return out;
+}
+
+} // namespace
+
+TEST(SharerSet, StartsEmptyExact)
+{
+    SharerSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.granularity(), 1u);
+    EXPECT_EQ(s.countSlots(), 0u);
+    EXPECT_FALSE(s.usesHeap());
+    EXPECT_EQ(s.toString(), "0x0");
+}
+
+TEST(SharerSet, InlineAddRemoveContains)
+{
+    SharerSet s;
+    s.add(0);
+    s.add(2);
+    s.add(63);
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_FALSE(s.contains(1));
+    EXPECT_TRUE(s.contains(2));
+    EXPECT_TRUE(s.contains(63));
+    EXPECT_EQ(s.countSlots(), 3u);
+    EXPECT_FALSE(s.usesHeap());
+    s.remove(2);
+    EXPECT_FALSE(s.contains(2));
+    EXPECT_EQ(s.countSlots(), 2u);
+    s.remove(5); // removing an absent node is a no-op
+    EXPECT_EQ(s.countSlots(), 2u);
+}
+
+TEST(SharerSet, HexImageMatchesHistoricalMask)
+{
+    // The old uint32 prints showed "0x5" for sharers {0, 2}.
+    SharerSet s;
+    s.add(0);
+    s.add(2);
+    EXPECT_EQ(s.toString(), "0x5");
+}
+
+TEST(SharerSet, HeapSpillBeyond64Nodes)
+{
+    SharerSet s;
+    s.add(3);
+    EXPECT_FALSE(s.usesHeap());
+    s.add(64);
+    s.add(199);
+    EXPECT_TRUE(s.usesHeap());
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_TRUE(s.contains(64));
+    EXPECT_TRUE(s.contains(199));
+    EXPECT_FALSE(s.contains(128));
+    EXPECT_EQ(s.countSlots(), 3u);
+    s.remove(199);
+    EXPECT_FALSE(s.contains(199));
+    EXPECT_EQ(s.countSlots(), 2u);
+    // contains() past the allocated words is false, not UB.
+    EXPECT_FALSE(s.contains(4000));
+}
+
+TEST(SharerSet, IterationAscendingRegardlessOfInsertionOrder)
+{
+    SharerSet s;
+    for (NodeId n : {150, 3, 64, 0, 89})
+        s.add(n);
+    const std::vector<NodeId> want = {0, 3, 64, 89, 150};
+    EXPECT_EQ(nodesOf(s, 256), want);
+    EXPECT_EQ(slotsOf(s), std::vector<unsigned>({0, 3, 64, 89, 150}));
+}
+
+TEST(SharerSet, ForEachNodeRespectsNumNodesCap)
+{
+    SharerSet s;
+    s.add(1);
+    s.add(14);
+    s.add(15);
+    EXPECT_EQ(nodesOf(s, 15), std::vector<NodeId>({1, 14}));
+}
+
+TEST(SharerSet, CountNodesEqualsCountSlotsAtGranularityOne)
+{
+    SharerSet s;
+    s.add(2);
+    s.add(70);
+    EXPECT_EQ(s.countNodes(128), s.countSlots());
+}
+
+TEST(SharerSet, CoarseGroupsShareOneBit)
+{
+    SharerSet s(/*granularity_log2=*/2); // 4 nodes per bit
+    EXPECT_EQ(s.granularity(), 4u);
+    s.add(5);
+    // The whole group {4,5,6,7} is conservatively present.
+    for (NodeId n : {4, 5, 6, 7})
+        EXPECT_TRUE(s.contains(n));
+    EXPECT_FALSE(s.contains(3));
+    EXPECT_FALSE(s.contains(8));
+    EXPECT_EQ(s.countSlots(), 1u);
+    EXPECT_EQ(s.countNodes(16), 4u);
+    EXPECT_EQ(nodesOf(s, 16), std::vector<NodeId>({4, 5, 6, 7}));
+    // The cap truncates a partially covered last group.
+    EXPECT_EQ(nodesOf(s, 6), std::vector<NodeId>({4, 5}));
+}
+
+TEST(SharerSet, CoarseRemoveClearsWholeGroup)
+{
+    SharerSet s(1); // 2 nodes per bit
+    s.add(2);
+    s.add(3);
+    EXPECT_EQ(s.countSlots(), 1u);
+    s.remove(2);
+    EXPECT_FALSE(s.contains(3));
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(SharerSet, CoarseKeepsSixteenNodesInOneWordAt256)
+{
+    SharerSet s(4); // 16 nodes per bit: 256 nodes in 16 slots
+    s.add(0);
+    s.add(255);
+    EXPECT_FALSE(s.usesHeap());
+    EXPECT_EQ(s.countSlots(), 2u);
+    EXPECT_EQ(s.countNodes(256), 32u);
+}
+
+TEST(SharerSet, ClearPreservesGranularity)
+{
+    SharerSet s(3);
+    s.add(9);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.granularityLog2(), 3u);
+}
+
+TEST(SharerSet, SetGranularityAllowedOnlyWhileEmpty)
+{
+    SharerSet s;
+    s.setGranularityLog2(2);
+    EXPECT_EQ(s.granularity(), 4u);
+    s.add(1);
+    s.setGranularityLog2(2); // same value: fine even when non-empty
+    EXPECT_DEATH(s.setGranularityLog2(0), "granularity");
+}
+
+TEST(SharerSet, GranularityTransfersByCopy)
+{
+    SharerSet dir(2);
+    dir.add(10);
+    SharerSet payload = dir; // message payloads copy the whole set
+    EXPECT_EQ(payload.granularityLog2(), 2u);
+    EXPECT_TRUE(payload.contains(10));
+    EXPECT_EQ(payload, dir);
+}
+
+TEST(SharerSet, UnionMergesAndAdoptsGranularity)
+{
+    SharerSet a;
+    a.add(1);
+    a.add(100);
+    SharerSet b;
+    b.add(2);
+    b.add(100);
+    a |= b;
+    EXPECT_EQ(nodesOf(a, 256), std::vector<NodeId>({1, 2, 100}));
+
+    SharerSet empty;
+    SharerSet coarse(2);
+    coarse.add(8);
+    empty |= coarse; // empty set adopts the other granularity
+    EXPECT_EQ(empty.granularityLog2(), 2u);
+    EXPECT_TRUE(empty.contains(9));
+
+    SharerSet exact;
+    exact.add(1);
+    EXPECT_DEATH(exact |= coarse, "mismatched granularities");
+}
+
+TEST(SharerSet, EqualityIgnoresTrailingZeroWords)
+{
+    SharerSet a;
+    a.add(70);
+    a.remove(70); // leaves an all-zero heap word behind
+    SharerSet b;
+    EXPECT_EQ(a, b);
+    b.add(0);
+    EXPECT_NE(a, b);
+    // Different granularities compare unequal unless both empty.
+    SharerSet c(1);
+    EXPECT_EQ(SharerSet{}, c);
+    c.add(0);
+    SharerSet d;
+    d.add(0);
+    d.add(1);
+    EXPECT_NE(c, d);
+}
+
+TEST(SharerSet, WideToStringConcatenatesWordsHighFirst)
+{
+    SharerSet s;
+    s.add(0);
+    s.add(64);
+    EXPECT_EQ(s.toString(), "0x10000000000000001");
+}
