@@ -26,6 +26,8 @@
 #include "src/runner/job.hh"
 #include "src/runner/results.hh"
 #include "src/runner/runner.hh"
+#include "src/verify/lint.hh"
+#include "src/verify/spec.hh"
 
 using namespace pcsim;
 
@@ -43,6 +45,7 @@ usage(std::FILE *out)
 "  pcsim sweep (--figure 7|9|10 | --table 2) [options]\n"
 "  pcsim scale [--nodes n,m,...] [--workload W] [options]\n"
 "  pcsim bench [--json PATH] [--baseline PATH] [options]\n"
+"  pcsim lint  [--no-mc] [--coverage results.json] [options]\n"
 "  pcsim list             list workloads and configuration presets\n"
 "  pcsim help             show this text\n"
 "\n"
@@ -57,6 +60,15 @@ usage(std::FILE *out)
 "                         two; default 1 = exact vector)\n"
 "  --scale F              workload scale factor (default: 1)\n"
 "  --checker              enable the coherence invariant checker\n"
+"  --conformance          enable the protocol-spec conformance hook\n"
+"                         (fails the run on out-of-spec transitions\n"
+"                         and records transition coverage)\n"
+"\n"
+"lint (static checks of the declarative protocol transition spec):\n"
+"  --no-mc                skip the model-checker cross-check\n"
+"  --coverage PATH        report never-exercised legal transitions\n"
+"                         from a results JSON written by runs with\n"
+"                         --conformance\n"
 "\n"
 "scale (node-count scaling sweep of base/delegation/delegate-update):\n"
 "  --nodes n,m            machine sizes (default: 16,32,64,128,256)\n"
@@ -117,6 +129,9 @@ struct Options
     double scale = 1.0;
     bool scaleSet = false;
     bool checker = false;
+    bool conformance = false;
+    bool lintMc = true;           ///< lint: run the model cross-check
+    std::string coveragePath;     ///< lint: results doc for coverage
     unsigned threads = 0;
     bool threadsSet = false;
     std::string jsonPath;
@@ -287,6 +302,15 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.timing = true;
         } else if (arg == "--checker") {
             opt.checker = true;
+        } else if (arg == "--conformance") {
+            opt.conformance = true;
+        } else if (arg == "--no-mc") {
+            opt.lintMc = false;
+        } else if (arg == "--coverage") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.coveragePath = v;
         } else if (arg == "--deterministic-check") {
             opt.deterministicCheck = true;
         } else if (arg == "--no-table") {
@@ -416,6 +440,7 @@ runCommand(const Options &opt)
                 return 1;
             }
             cfg.proto.checkerEnabled = opt.checker;
+            cfg.proto.conformanceEnabled = opt.conformance;
             cfg.proto.sharerGranularityLog2 = log2Ceil(opt.coarse);
             const std::string verr = cfg.proto.validateError();
             if (!verr.empty()) {
@@ -533,6 +558,139 @@ sweepCommand(const Options &opt)
     return failedCount(results) ? 2 : 0;
 }
 
+int
+lintCoverage(const Options &opt)
+{
+    const verify::TransitionSpec &spec = verify::protocolSpec();
+
+    std::string text;
+    if (!runner::readTextFile(opt.coveragePath, text)) {
+        std::fprintf(stderr, "pcsim lint: cannot read '%s'\n",
+                     opt.coveragePath.c_str());
+        return 1;
+    }
+    JsonValue doc;
+    try {
+        doc = JsonValue::parse(text);
+    } catch (const JsonParseError &e) {
+        std::fprintf(stderr, "pcsim lint: '%s' is not valid JSON: %s\n",
+                     opt.coveragePath.c_str(), e.what());
+        return 1;
+    }
+
+    // Merge the conformance blocks of every result in the document.
+    std::vector<verify::TransitionCount> observed;
+    const JsonValue *arr = doc.find("results");
+    if (!arr || !arr->isArray()) {
+        std::fprintf(stderr,
+                     "pcsim lint: '%s' has no \"results\" array\n",
+                     opt.coveragePath.c_str());
+        return 1;
+    }
+    unsigned with_conformance = 0;
+    for (std::size_t i = 0; i < arr->size(); ++i) {
+        const JsonValue *conf = arr->at(i).find("conformance");
+        if (!conf)
+            continue;
+        ++with_conformance;
+        const JsonValue &obs = conf->at("observed");
+        for (std::size_t k = 0; k < obs.size(); ++k) {
+            const JsonValue &e = obs.at(k);
+            verify::TransitionCount t;
+            t.ctrl = std::uint8_t(e.at("ctrl").asUInt());
+            t.state = std::uint8_t(e.at("state").asUInt());
+            t.event = std::uint8_t(e.at("event").asUInt());
+            t.next = std::uint8_t(e.at("next").asUInt());
+            t.count = e.at("count").asUInt();
+            observed.push_back(t);
+        }
+    }
+    if (!with_conformance) {
+        std::fprintf(stderr,
+                     "pcsim lint: no result in '%s' carries "
+                     "conformance data (re-run with --conformance)\n",
+                     opt.coveragePath.c_str());
+        return 1;
+    }
+
+    const verify::CoverageReport rep =
+        verify::computeCoverage(spec, observed);
+    bool io_ok = true;
+    if (!opt.jsonPath.empty())
+        io_ok &= runner::writeTextFile(
+            opt.jsonPath,
+            verify::coverageToJson(spec, rep).dump(2) + "\n");
+    if (!opt.csvPath.empty())
+        io_ok &= runner::writeTextFile(
+            opt.csvPath, verify::coverageToCsv(spec, rep));
+
+    if (opt.jsonPath != "-" && opt.csvPath != "-") {
+        std::printf("coverage: %llu of %llu legal transitions "
+                    "exercised, %llu never seen\n",
+                    (unsigned long long)rep.exercised,
+                    (unsigned long long)rep.legal,
+                    (unsigned long long)(rep.legal - rep.exercised));
+        for (const auto &row : rep.rows) {
+            if (row.count)
+                continue;
+            std::printf("  missing %-8s %-10s --%s--> %s\n",
+                        verify::ctrlName(row.ctrl),
+                        spec.stateName(row.ctrl, row.state).c_str(),
+                        verify::eventName(row.event),
+                        spec.stateName(row.ctrl, row.next).c_str());
+        }
+    }
+    return io_ok ? 0 : 1;
+}
+
+int
+lintCommand(const Options &opt)
+{
+    if (!opt.coveragePath.empty())
+        return lintCoverage(opt);
+
+    const verify::TransitionSpec &spec = verify::protocolSpec();
+    const verify::LintReport rep = opt.lintMc
+                                       ? verify::lintSpecWithModel(spec)
+                                       : verify::lintSpec(spec);
+
+    bool io_ok = true;
+    if (!opt.jsonPath.empty())
+        io_ok &= runner::writeTextFile(
+            opt.jsonPath, verify::lintToJson(spec, rep).dump(2) + "\n");
+    if (!opt.csvPath.empty())
+        io_ok &= runner::writeTextFile(opt.csvPath,
+                                       verify::lintToCsv(rep));
+
+    if (opt.jsonPath != "-" && opt.csvPath != "-") {
+        std::printf("spec: %zu rules, %zu impossible pairs\n",
+                    spec.rules().size(), spec.impossible().size());
+        if (rep.mcConfigs) {
+            std::printf("model cross-check: %llu configs, %llu states, "
+                        "%llu distinct transitions\n",
+                        (unsigned long long)rep.mcConfigs,
+                        (unsigned long long)rep.mcStates,
+                        (unsigned long long)rep.mcObserved);
+        }
+        for (const auto &f : rep.findings) {
+            std::string where = f.ctrl;
+            if (!f.state.empty())
+                where += " " + f.state;
+            if (!f.event.empty())
+                where += " x " + f.event;
+            std::printf("%s: %s: %s\n", f.kind.c_str(), where.c_str(),
+                        f.detail.c_str());
+        }
+        if (rep.clean())
+            std::printf("lint: clean\n");
+        else
+            std::printf("lint: %zu finding(s)\n", rep.findings.size());
+    }
+    if (!io_ok)
+        return 1;
+    return rep.clean() ? 0 : 2;
+}
+
 } // namespace
 
 int
@@ -555,6 +713,8 @@ main(int argc, char **argv)
         return runCommand(opt);
     if (cmd == "sweep")
         return sweepCommand(opt);
+    if (cmd == "lint")
+        return lintCommand(opt);
     if (cmd == "scale") {
         runner::ScaleOptions sopt;
         sopt.nodeCounts = opt.nodeList;

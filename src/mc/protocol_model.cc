@@ -20,6 +20,16 @@ popcount(std::uint8_t m)
     return static_cast<std::uint8_t>(__builtin_popcount(m));
 }
 
+/** Producer-table FSM state of node @p n as reported to a
+ *  TransitionListener: 0 none, 1 shared, 2 exclusive. */
+int
+prodStateOf(const ProtocolModel::State &s, unsigned n)
+{
+    if (!s.prodValid || s.prodNode != n)
+        return 0;
+    return s.prodIsExcl ? 2 : 1;
+}
+
 } // namespace
 
 bool
@@ -259,6 +269,7 @@ ProtocolModel::transitions(const State &s,
     for (unsigned n = 0; n < _cfg.nodes; ++n) {
         // Read.
         if (s.readsLeft[n] && !s.mshr[n]) {
+            const std::size_t rbase = out.size();
             if (s.cache[n] != CState::I) {
                 // Hit.
                 State t = s;
@@ -303,9 +314,18 @@ ProtocolModel::transitions(const State &s,
                     }
                 }
             }
+            if (_listener) {
+                for (std::size_t i = rbase; i < out.size(); ++i) {
+                    _listener->onTransition(
+                        0, static_cast<int>(s.cache[n]),
+                        TransitionListener::evCpuLoad,
+                        static_cast<int>(out[i].cache[n]));
+                }
+            }
         }
         // Write.
         if (s.writesLeft && !s.mshr[n]) {
+            const std::size_t wbase = out.size();
             if (s.cache[n] == CState::M) {
                 State t = s;
                 t.mshrV[n] = t.cacheV[n];
@@ -343,11 +363,20 @@ ProtocolModel::transitions(const State &s,
                     }
                 }
             }
+            if (_listener) {
+                for (std::size_t i = wbase; i < out.size(); ++i) {
+                    _listener->onTransition(
+                        0, static_cast<int>(s.cache[n]),
+                        TransitionListener::evCpuStore,
+                        static_cast<int>(out[i].cache[n]));
+                }
+            }
         }
     }
 
     // --- Delayed intervention firing ---------------------------------
     if (s.intervPending && s.prodValid) {
+        const std::size_t ibase = out.size();
         State t = s;
         t.intervPending = 0;
         const unsigned p = t.prodNode;
@@ -373,6 +402,21 @@ ProtocolModel::transitions(const State &s,
                 out.push_back(std::move(t));
         } else {
             out.push_back(std::move(t));
+        }
+        if (_listener) {
+            const unsigned p = s.prodNode;
+            for (std::size_t i = ibase; i < out.size(); ++i) {
+                _listener->onTransition(
+                    2, prodStateOf(s, p),
+                    TransitionListener::evDelayedInterv,
+                    prodStateOf(out[i], p));
+                if (out[i].cache[p] != s.cache[p]) {
+                    _listener->onTransition(
+                        0, static_cast<int>(s.cache[p]),
+                        TransitionListener::evLocalDowngrade,
+                        static_cast<int>(out[i].cache[p]));
+                }
+            }
         }
     }
 
@@ -403,25 +447,79 @@ ProtocolModel::deliver(State &t, unsigned src, unsigned dst,
         m.type == MType::Shwb || m.type == MType::XferAck ||
         m.type == MType::IntervNack || m.type == MType::Undele;
 
+    // Which controller handles this delivery: the home directory, a
+    // producer table acting as the home, a plain cache, or a
+    // stale-hint bounce that touches no FSM at all.
+    enum class Side { Home, Producer, Cache, Bounce };
+    Side side;
     if (for_home_side) {
         if ((m.type == MType::ReqS || m.type == MType::ReqX) &&
             t.prodValid && t.prodNode == dst) {
-            applyAtNode(std::move(t), dst, src, m, out);
-            return;
+            side = Side::Producer;
+        } else if (dst == _cfg.home) {
+            side = Side::Home;
+        } else {
+            side = Side::Bounce;
         }
-        if (dst == _cfg.home) {
-            applyAtHome(std::move(t), src, m, out);
-            return;
-        }
+    } else {
+        side = m.type == MType::Delegate ? Side::Producer
+                                         : Side::Cache;
+    }
+
+    // Snapshot pre-states before dispatch (t is moved below).
+    const std::size_t base = out.size();
+    const int preCache = static_cast<int>(t.cache[dst]);
+    const int preDir = static_cast<int>(t.dir);
+    const int preProd = prodStateOf(t, dst);
+    const int event = static_cast<int>(m.type);
+
+    switch (side) {
+      case Side::Producer:
+      case Side::Cache:
+        applyAtNode(std::move(t), dst, src, m, out);
+        break;
+      case Side::Home:
+        applyAtHome(std::move(t), src, m, out);
+        break;
+      case Side::Bounce: {
         // Stale hint: not the home, no producer entry.
         MMsg nack;
         nack.type = MType::NackNotHome;
         nack.seq = m.seq;
         if (send(t, dst, m.requester, nack))
             out.push_back(std::move(t));
-        return;
+        break;
+      }
     }
-    applyAtNode(std::move(t), dst, src, m, out);
+
+    if (!_listener)
+        return;
+    for (std::size_t i = base; i < out.size(); ++i) {
+        const State &u = out[i];
+        switch (side) {
+          case Side::Home:
+            _listener->onTransition(1, preDir, event,
+                                    static_cast<int>(u.dir));
+            break;
+          case Side::Producer:
+            _listener->onTransition(2, preProd, event,
+                                    prodStateOf(u, dst));
+            // On-demand downgrade of the producer's own copy.
+            if (static_cast<int>(u.cache[dst]) != preCache) {
+                _listener->onTransition(
+                    0, preCache,
+                    TransitionListener::evLocalDowngrade,
+                    static_cast<int>(u.cache[dst]));
+            }
+            break;
+          case Side::Cache:
+            _listener->onTransition(0, preCache, event,
+                                    static_cast<int>(u.cache[dst]));
+            break;
+          case Side::Bounce:
+            break;
+        }
+    }
 }
 
 void

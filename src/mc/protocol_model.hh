@@ -113,6 +113,28 @@ struct ModelConfig
      *  which over-approximates the detector's choices. */
 };
 
+/**
+ * Observer of abstract-model FSM transitions, used by the lint pass
+ * to cross-check the declarative transition spec against the model's
+ * reachable transition relation. Controllers are numbered 0 cache,
+ * 1 directory, 2 producer; events are raw MType values or the
+ * synthetic codes below; states are raw CState / DState values, and
+ * 0 none / 1 shared / 2 exclusive for the producer table.
+ */
+class TransitionListener
+{
+  public:
+    virtual ~TransitionListener() = default;
+    virtual void onTransition(int ctrl, int pre, int event,
+                              int post) = 0;
+
+    // Synthetic events with no MType (values clear of any MType).
+    static constexpr int evLocalDowngrade = 64;
+    static constexpr int evDelayedInterv = 65;
+    static constexpr int evCpuLoad = 66;
+    static constexpr int evCpuStore = 67;
+};
+
 /** The abstract protocol model (see file header). */
 class ProtocolModel
 {
@@ -185,6 +207,10 @@ class ProtocolModel
 
     const ModelConfig &config() const { return _cfg; }
 
+    /** Attach a transition observer (null to detach). Every FSM step
+     *  taken while generating successors is reported to it. */
+    void setListener(TransitionListener *l) { _listener = l; }
+
   private:
     bool send(State &s, unsigned src, unsigned dst,
               const MMsg &m) const;
@@ -201,6 +227,7 @@ class ProtocolModel
                     std::uint8_t pend_seq) const;
 
     ModelConfig _cfg;
+    TransitionListener *_listener = nullptr;
 };
 
 } // namespace mc

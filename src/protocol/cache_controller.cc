@@ -3,9 +3,24 @@
 #include "src/protocol/hub.hh"
 #include "src/protocol/producer_controller.hh"
 #include "src/sim/logging.hh"
+#include "src/verify/observer.hh"
 
 namespace pcsim
 {
+
+namespace
+{
+
+/** Side-effect-free state sample for the conformance hook (const
+ *  lookup: must not touch LRU bookkeeping). */
+verify::StateId
+cacheStateGetter(const CacheController &ctrl, Addr line)
+{
+    Version v;
+    return static_cast<verify::StateId>(ctrl.l2State(line, v));
+}
+
+} // namespace
 
 CacheController::CacheController(Hub &hub, Rng rng)
     : _hub(hub),
@@ -53,6 +68,11 @@ CacheController::access(bool is_write, Addr addr, AccessCallback done)
     const Addr line = _hub.lineOf(addr);
     NodeStats &st = _hub.stats();
     EventQueue &eq = _hub.eventQueue();
+
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Cache, _hub.id(), line,
+        is_write ? verify::PEvent::CpuStore : verify::PEvent::CpuLoad,
+        [this, line]() { return cacheStateGetter(*this, line); });
 
     if (is_write)
         ++st.writes;
@@ -247,6 +267,11 @@ CacheController::handleResponse(const Message &msg)
     NodeStats &st = _hub.stats();
     Mshr *m = _mshrs.find(line);
 
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Cache, _hub.id(), line,
+        verify::eventOf(msg.type),
+        [this, line]() { return cacheStateGetter(*this, line); });
+
     if (msg.type == MsgType::WritebackAck)
         return;
 
@@ -433,6 +458,18 @@ void
 CacheController::evictVictim(Addr victim, L2Entry &v)
 {
     NodeStats &st = _hub.stats();
+
+    // The array recycles the victim's way as soon as this callback
+    // returns, so sample the pre state from the payload and pin the
+    // post state rather than re-probing the array.
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Cache, _hub.id(), victim,
+        verify::PEvent::Evict, [s = v.state]() {
+            return static_cast<verify::StateId>(s);
+        });
+    scope.overridePost(
+        static_cast<verify::StateId>(LineState::Invalid));
+
     _l1.invalidateRange(victim, _cfg.lineBytes);
 
     const bool owned = v.state == LineState::Modified ||
@@ -469,6 +506,12 @@ void
 CacheController::handleIntervention(const Message &msg)
 {
     const Addr line = msg.addr;
+
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Cache, _hub.id(), line,
+        verify::eventOf(msg.type),
+        [this, line]() { return cacheStateGetter(*this, line); });
+
     L2Entry *e = _l2.find(line);
     const Tick lat = _cfg.busLatency; // processor bus round trip
 
@@ -616,6 +659,12 @@ CacheController::handleUpdate(const Message &msg)
 {
     const Addr line = msg.addr;
     NodeStats &st = _hub.stats();
+
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Cache, _hub.id(), line,
+        verify::PEvent::Update,
+        [this, line]() { return cacheStateGetter(*this, line); });
+
     ++st.updatesReceived;
 
     if (staleByTombstone(line, msg.version)) {
@@ -659,6 +708,12 @@ CacheController::handleUpdate(const Message &msg)
 void
 CacheController::handleHomeHint(const Message &msg)
 {
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Cache, _hub.id(), msg.addr,
+        verify::PEvent::HomeHint, [this, line = msg.addr]() {
+            return cacheStateGetter(*this, line);
+        });
+
     if (DelegateCache *dc = _hub.delegateCache())
         dc->consumerInsert(msg.addr, msg.hintHome);
 }
@@ -666,6 +721,11 @@ CacheController::handleHomeHint(const Message &msg)
 Version
 CacheController::localDowngrade(Addr line, Version fallback)
 {
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Cache, _hub.id(), line,
+        verify::PEvent::LocalDowngrade,
+        [this, line]() { return cacheStateGetter(*this, line); });
+
     L2Entry *e = _l2.find(line);
     if (!e || e->state == LineState::Invalid)
         return fallback;

@@ -1,9 +1,33 @@
 #include "src/protocol/checker.hh"
 
+#include <cstdarg>
+#include <cstdio>
+
 #include "src/sim/logging.hh"
+#include "src/verify/trace.hh"
 
 namespace pcsim
 {
+
+void
+CoherenceChecker::violation(NodeId node, Addr line, const char *fmt,
+                            ...) const
+{
+    char what[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(what, sizeof(what), fmt, ap);
+    va_end(ap);
+
+    const std::string trace =
+        _trace ? _trace->format(line)
+               : std::string("  (message trace disabled)\n");
+    panic("coherence violation: %s\n"
+          "  node %u, line %#llx\n"
+          "recent messages for this line:\n%s",
+          what, unsigned(node), static_cast<unsigned long long>(line),
+          trace.c_str());
+}
 
 Version
 CoherenceChecker::storePerformed(NodeId node, Addr line,
@@ -15,9 +39,10 @@ CoherenceChecker::storePerformed(NodeId node, Addr line,
     ++_numChecks;
     const Version cur = _authority.current(line);
     if (copy_version != cur) {
-        panic("lost update: node %u stores to 0x%llx from version %u "
-              "but current is %u",
-              node, (unsigned long long)line, copy_version, cur);
+        violation(node, line,
+                  "lost update: store from version %u but current is "
+                  "%u",
+                  copy_version, cur);
     }
 
     // Single-writer: no other node may hold any readable copy at the
@@ -28,15 +53,17 @@ CoherenceChecker::storePerformed(NodeId node, Addr line,
         Version v;
         LineState s = _nodes[n]->l2State(line, v);
         if (s != LineState::Invalid) {
-            panic("single-writer violated: node %u stores to 0x%llx "
-                  "while node %zu holds %s",
-                  node, (unsigned long long)line, n, lineStateName(s));
+            violation(node, line,
+                      "single-writer violated: store while node %zu "
+                      "holds %s",
+                      n, lineStateName(s));
         }
         bool pinned;
         if (_nodes[n]->racCopy(line, v, pinned)) {
-            panic("single-writer violated: node %u stores to 0x%llx "
-                  "while node %zu holds a RAC copy (pinned=%d)",
-                  node, (unsigned long long)line, n, pinned);
+            violation(node, line,
+                      "single-writer violated: store while node %zu "
+                      "holds a RAC copy (pinned=%d)",
+                      n, pinned);
         }
     }
 
@@ -54,15 +81,16 @@ CoherenceChecker::loadPerformed(NodeId node, Addr line, Version version)
     ++_numChecks;
     const Version cur = _authority.current(line);
     if (version > cur) {
-        panic("load from the future: node %u read 0x%llx version %u, "
-              "current %u",
-              node, (unsigned long long)line, version, cur);
+        violation(node, line,
+                  "load from the future: read version %u, current %u",
+                  version, cur);
     }
     auto &seen = _lastSeen[key(node, line)];
     if (version < seen) {
-        panic("non-monotonic read: node %u read 0x%llx version %u "
-              "after having seen %u",
-              node, (unsigned long long)line, version, seen);
+        violation(node, line,
+                  "non-monotonic read: read version %u after having "
+                  "seen %u",
+                  version, seen);
     }
     seen = version;
 }
@@ -86,16 +114,17 @@ CoherenceChecker::checkLineQuiescent(Addr line, Version cur,
             ownerNode = static_cast<NodeId>(n);
             holds = true;
             if (v != cur) {
-                panic("quiescent: owner node %zu of 0x%llx has version "
-                      "%u, current %u",
-                      n, (unsigned long long)line, v, cur);
+                violation(static_cast<NodeId>(n), line,
+                          "quiescent: owner has version %u, current %u",
+                          v, cur);
             }
         } else if (s == LineState::Shared) {
             holds = true;
             if (v != cur) {
-                panic("quiescent: sharer node %zu of 0x%llx has "
-                      "version %u, current %u",
-                      n, (unsigned long long)line, v, cur);
+                violation(static_cast<NodeId>(n), line,
+                          "quiescent: sharer has version %u, current "
+                          "%u",
+                          v, cur);
             }
         }
 
@@ -109,9 +138,10 @@ CoherenceChecker::checkLineQuiescent(Addr line, Version cur,
                 pinned && (s == LineState::Modified ||
                            s == LineState::Exclusive);
             if (!shadowed && v != cur) {
-                panic("quiescent: RAC copy at node %zu of 0x%llx has "
-                      "version %u, current %u",
-                      n, (unsigned long long)line, v, cur);
+                violation(static_cast<NodeId>(n), line,
+                          "quiescent: RAC copy has version %u, current "
+                          "%u",
+                          v, cur);
             }
         }
         if (holds)
@@ -119,50 +149,46 @@ CoherenceChecker::checkLineQuiescent(Addr line, Version cur,
     }
 
     if (owners > 1)
-        panic("quiescent: %u owners of 0x%llx", owners,
-              (unsigned long long)line);
+        violation(ownerNode, line, "quiescent: %u owners", owners);
     if (owners == 1) {
         SharerSet others = holders;
         others.remove(ownerNode);
         if (!others.empty()) {
-            panic("quiescent: owner %u of 0x%llx coexists with "
-                  "holders %s",
-                  ownerNode, (unsigned long long)line,
-                  others.toString().c_str());
+            violation(ownerNode, line,
+                      "quiescent: owner coexists with holders %s",
+                      others.toString().c_str());
         }
     }
 
     // Directory consistency at the home (or its delegate).
     DirEntry dir = _nodes[home]->homeDirEntry(line);
     if (dir.busy())
-        panic("quiescent: home of 0x%llx is busy",
-              (unsigned long long)line);
+        violation(home, line, "quiescent: home is busy");
 
     if (dir.state == DirState::Dele) {
         const ProducerEntry *pe =
             _nodes[dir.owner]->producerEntry(line);
         if (!pe) {
-            panic("quiescent: 0x%llx delegated to %u but no producer "
-                  "entry",
-                  (unsigned long long)line, dir.owner);
+            violation(dir.owner, line,
+                      "quiescent: delegated but no producer entry");
         }
         dir = pe->dir; // check the delegated directory below
     } else if (dir.state == DirState::Shared ||
                dir.state == DirState::Unowned) {
         if (dir.memVersion != cur) {
-            panic("quiescent: memory copy of 0x%llx is version %u, "
-                  "current %u (state %s)",
-                  (unsigned long long)line, dir.memVersion, cur,
-                  dirStateName(dir.state));
+            violation(home, line,
+                      "quiescent: memory copy is version %u, current "
+                      "%u (state %s)",
+                      dir.memVersion, cur, dirStateName(dir.state));
         }
     }
 
     switch (dir.state) {
       case DirState::Unowned:
-        if (!holders.empty())
-            panic("quiescent: 0x%llx Unowned but held by %s",
-                  (unsigned long long)line,
-                  holders.toString().c_str());
+        if (!holders.empty()) {
+            violation(home, line, "quiescent: Unowned but held by %s",
+                      holders.toString().c_str());
+        }
         break;
       case DirState::Shared:
         // The directory must cover every holder; a coarse sharing
@@ -171,27 +197,29 @@ CoherenceChecker::checkLineQuiescent(Addr line, Version cur,
         holders.forEachNode(static_cast<unsigned>(_nodes.size()),
                             [&](NodeId n) {
                                 if (!dir.sharers.contains(n)) {
-                                    panic("quiescent: 0x%llx holder %u "
-                                          "not covered by sharers %s",
-                                          (unsigned long long)line, n,
-                                          dir.sharers.toString()
-                                              .c_str());
+                                    violation(
+                                        n, line,
+                                        "quiescent: holder not covered "
+                                        "by sharers %s",
+                                        dir.sharers.toString().c_str());
                                 }
                             });
-        if (owners)
-            panic("quiescent: 0x%llx Shared but node %u owns it",
-                  (unsigned long long)line, ownerNode);
+        if (owners) {
+            violation(ownerNode, line,
+                      "quiescent: Shared but node %u owns it",
+                      ownerNode);
+        }
         break;
       case DirState::Excl:
         if (owners != 1 || ownerNode != dir.owner) {
-            panic("quiescent: 0x%llx Excl at %u but owner is %s%u",
-                  (unsigned long long)line, dir.owner,
-                  owners ? "" : "nobody ", ownerNode);
+            violation(home, line,
+                      "quiescent: Excl at %u but owner is %s%u",
+                      dir.owner, owners ? "" : "nobody ", ownerNode);
         }
         break;
       default:
-        panic("quiescent: 0x%llx in unexpected dir state %s",
-              (unsigned long long)line, dirStateName(dir.state));
+        violation(home, line, "quiescent: unexpected dir state %s",
+                  dirStateName(dir.state));
     }
 }
 

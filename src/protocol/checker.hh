@@ -34,6 +34,11 @@
 namespace pcsim
 {
 
+namespace verify
+{
+class MessageTrace;
+} // namespace verify
+
 /** Oracle of current line versions ("what memory should contain"). */
 class VersionAuthority
 {
@@ -89,6 +94,10 @@ class CoherenceChecker
     bool enabled() const { return _enabled; }
     void setEnabled(bool on) { _enabled = on; }
 
+    /** Attach the per-run message trace: violations then report the
+     *  last few messages seen for the offending line. */
+    void setTrace(const verify::MessageTrace *trace) { _trace = trace; }
+
     VersionAuthority &authority() { return _authority; }
     const VersionAuthority &authority() const { return _authority; }
 
@@ -122,7 +131,14 @@ class CoherenceChecker
   private:
     void checkLineQuiescent(Addr line, Version cur, NodeId home) const;
 
+    /** Fail with structured context: the formatted complaint plus the
+     *  offending node, line address and recent message trace. */
+    [[noreturn]] void violation(NodeId node, Addr line, const char *fmt,
+                                ...) const
+        __attribute__((format(printf, 4, 5)));
+
     bool _enabled;
+    const verify::MessageTrace *_trace = nullptr;
     std::vector<CheckerNodeView *> _nodes;
     VersionAuthority _authority;
     /** Monotonic-read tracking: (node, line) -> last observed. */

@@ -83,6 +83,13 @@ struct ProtocolConfig
     /** Run the coherence/SC invariant checker (Section 2.5). */
     bool checkerEnabled = true;
 
+    /** Cross-check every controller transition against the
+     *  declarative spec (src/verify). On by default in tests; opt-in
+     *  for experiments (`pcsim run --conformance`). Off keeps the
+     *  hook compiled in but fully disabled, preserving byte-identical
+     *  results. */
+    bool conformanceEnabled = false;
+
     /**
      * Sanity-check the configuration (node count fits the
      * representation, power-of-two line size, nonzero structure

@@ -4,9 +4,19 @@
 
 #include "src/protocol/hub.hh"
 #include "src/sim/logging.hh"
+#include "src/verify/observer.hh"
 
 namespace pcsim
 {
+
+// Conformance frame over the merged directory view (peek + backing
+// store; side-effect free).
+#define DIR_CONFORMANCE_SCOPE(msg, event)                               \
+    verify::ConformanceScope pcsimConformanceScope(                     \
+        _hub.observer(), verify::Ctrl::Dir, _hub.id(), (msg).addr,      \
+        (event), [this, line = (msg).addr]() {                          \
+            return static_cast<verify::StateId>(dirEntry(line).state);  \
+        })
 
 DirController::DirController(Hub &hub, Rng rng)
     : _hub(hub),
@@ -71,6 +81,8 @@ DirController::sendNack(const Message &msg, Tick ready)
 void
 DirController::handleRequest(const Message &msg)
 {
+    DIR_CONFORMANCE_SCOPE(msg, verify::eventOf(msg.type));
+
     ++_hub.stats().homeRequests;
 
     Tick ready;
@@ -336,6 +348,8 @@ DirController::forwardToDelegate(const Message &msg, DirCacheEntry &e,
 void
 DirController::handleWriteback(const Message &msg)
 {
+    DIR_CONFORMANCE_SCOPE(msg, verify::PEvent::WritebackM);
+
     Tick ready;
     DirCacheEntry *e = access(msg.addr, ready);
     if (!e) {
@@ -388,6 +402,8 @@ DirController::handleWriteback(const Message &msg)
 void
 DirController::handleSharedWriteback(const Message &msg)
 {
+    DIR_CONFORMANCE_SCOPE(msg, verify::PEvent::SharedWriteback);
+
     Tick ready;
     DirCacheEntry *e = access(msg.addr, ready);
     if (!e)
@@ -409,6 +425,8 @@ DirController::handleSharedWriteback(const Message &msg)
 void
 DirController::handleTransferAck(const Message &msg)
 {
+    DIR_CONFORMANCE_SCOPE(msg, verify::PEvent::TransferAck);
+
     Tick ready;
     DirCacheEntry *e = access(msg.addr, ready);
     if (!e)
@@ -428,6 +446,8 @@ DirController::handleTransferAck(const Message &msg)
 void
 DirController::handleIntervNack(const Message &msg)
 {
+    DIR_CONFORMANCE_SCOPE(msg, verify::PEvent::IntervNack);
+
     Tick ready;
     DirCacheEntry *e = access(msg.addr, ready);
     if (!e || !e->dir.busy())
@@ -488,6 +508,8 @@ DirController::handleIntervNack(const Message &msg)
 void
 DirController::handleUndele(const Message &msg)
 {
+    DIR_CONFORMANCE_SCOPE(msg, verify::PEvent::Undele);
+
     Tick ready;
     DirCacheEntry *e = access(msg.addr, ready);
     if (!e) {

@@ -1,6 +1,8 @@
 #include "src/protocol/hub.hh"
 
 #include "src/sim/logging.hh"
+#include "src/verify/observer.hh"
+#include "src/verify/trace.hh"
 
 namespace pcsim
 {
@@ -47,6 +49,8 @@ Hub::cpuAccess(bool is_write, Addr addr, AccessCallback done)
 void
 Hub::send(const Message &msg)
 {
+    if (_observer)
+        _observer->noteSend(msg);
     Message *pm = _net.acquireMessage();
     *pm = msg;
     pm->src = _id;
@@ -56,6 +60,8 @@ Hub::send(const Message &msg)
 void
 Hub::sendAt(Tick when, const Message &msg)
 {
+    if (_observer)
+        _observer->noteSend(msg);
     Message *pm = _net.acquireMessage();
     *pm = msg;
     pm->src = _id;
@@ -67,6 +73,9 @@ Hub::handleMessage(const Message &msg)
 {
     PCSIM_DPRINTF(DebugCache, curTick(), "hub%u: rx %s", _id,
                   msg.toString().c_str());
+
+    if (_trace)
+        _trace->record(msg, curTick());
 
     switch (msg.type) {
       case MsgType::ReqShared:

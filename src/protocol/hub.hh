@@ -36,6 +36,12 @@
 namespace pcsim
 {
 
+namespace verify
+{
+class MessageTrace;
+class TransitionObserver;
+} // namespace verify
+
 /** One node's hub. */
 class Hub : public SimObject,
             public MessageHandler,
@@ -105,6 +111,17 @@ class Hub : public SimObject,
         sendAt(curTick() + delta, msg);
     }
 
+    /** Per-run conformance observer (null = hook disabled) and
+     *  message trace (null = no history kept). Owned by the System. */
+    void
+    setConformance(verify::TransitionObserver *obs,
+                   verify::MessageTrace *trace)
+    {
+        _observer = obs;
+        _trace = trace;
+    }
+    verify::TransitionObserver *observer() { return _observer; }
+
     /** Line-align an address at coherence granularity. */
     Addr lineOf(Addr a) const { return a - (a % _cfg.lineBytes); }
 
@@ -128,6 +145,9 @@ class Hub : public SimObject,
     MemoryMap &_memMap;
     CoherenceChecker &_checker;
     NodeStats _stats;
+
+    verify::TransitionObserver *_observer = nullptr;
+    verify::MessageTrace *_trace = nullptr;
 
     Histogram *_consumerHist = nullptr;
     Addr _histExcludeBase = 0;

@@ -2,9 +2,30 @@
 
 #include "src/protocol/hub.hh"
 #include "src/sim/logging.hh"
+#include "src/verify/observer.hh"
 
 namespace pcsim
 {
+
+namespace
+{
+
+/** Spec-state of the producer-table entry for @p line. Uses the
+ *  non-touching array lookup so the conformance hook cannot perturb
+ *  LRU replacement. */
+verify::StateId
+producerStateGetter(Hub &hub, Addr line)
+{
+    DelegateCache *dc = hub.delegateCache();
+    const ProducerEntry *e = dc ? dc->producer().find(line, false)
+                                : nullptr;
+    if (!e)
+        return verify::prodNone;
+    return e->dir.state == DirState::Excl ? verify::prodExcl
+                                          : verify::prodShared;
+}
+
+} // namespace
 
 ProducerController::ProducerController(Hub &hub)
     : _hub(hub), _cfg(hub.cfg())
@@ -39,6 +60,11 @@ ProducerController::handleDelegate(const Message &msg)
     DelegateCache *dc = _hub.delegateCache();
     Rac *rac = _hub.rac();
 
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Producer, _hub.id(), line,
+        verify::PEvent::Delegate,
+        [this, line]() { return producerStateGetter(_hub, line); });
+
     // Allocate the producer-table entry; a conflict undelegates the
     // victim first (undelegation reason 1).
     ProducerEntry *e = dc->producer().allocate(
@@ -48,6 +74,16 @@ ProducerController::handleDelegate(const Message &msg)
             return !_hub.cacheCtrl().hasMshr(victim);
         },
         [this](Addr victim, ProducerEntry &v) {
+            // The way is recycled right after this callback: sample
+            // the pre state from the payload and pin the post state.
+            verify::ConformanceScope evict_scope(
+                _hub.observer(), verify::Ctrl::Producer, _hub.id(),
+                victim, verify::PEvent::Evict,
+                [s = v.dir.state]() {
+                    return s == DirState::Excl ? verify::prodExcl
+                                               : verify::prodShared;
+                });
+            evict_scope.overridePost(verify::prodNone);
             ++_hub.stats().undelegationsCapacity;
             undelegate(victim, v, UndeleReason::Capacity);
         });
@@ -119,6 +155,12 @@ void
 ProducerController::handleRequest(const Message &msg)
 {
     const Addr line = msg.addr;
+
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Producer, _hub.id(), line,
+        verify::eventOf(msg.type),
+        [this, line]() { return producerStateGetter(_hub, line); });
+
     DelegateCache *dc = _hub.delegateCache();
     ProducerEntry *e = dc->producerFind(line);
     if (!e)
@@ -270,6 +312,11 @@ ProducerController::serveRemoteRead(const Message &msg, ProducerEntry &e)
 void
 ProducerController::onLocalWriteComplete(Addr line)
 {
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Producer, _hub.id(), line,
+        verify::PEvent::LocalWriteComplete,
+        [this, line]() { return producerStateGetter(_hub, line); });
+
     DelegateCache *dc = _hub.delegateCache();
     ProducerEntry *e = dc ? dc->producerFind(line) : nullptr;
     if (!e)
@@ -296,6 +343,11 @@ void
 ProducerController::fireDelayedIntervention(Addr line,
                                             std::uint64_t token)
 {
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Producer, _hub.id(), line,
+        verify::PEvent::DelayedInterv,
+        [this, line]() { return producerStateGetter(_hub, line); });
+
     auto it = _timerTokens.find(line);
     if (it == _timerTokens.end() || it->second != token)
         return; // undelegated or re-armed since
@@ -356,6 +408,11 @@ ProducerController::completeEpoch(Addr line, ProducerEntry &e,
 void
 ProducerController::onLocalFlush(Addr line, Version version)
 {
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Producer, _hub.id(), line,
+        verify::PEvent::LocalFlush,
+        [this, line]() { return producerStateGetter(_hub, line); });
+
     DelegateCache *dc = _hub.delegateCache();
     ProducerEntry *e = dc ? dc->producerFind(line) : nullptr;
     if (!e)
@@ -374,6 +431,11 @@ ProducerController::onLocalFlush(Addr line, Version version)
 void
 ProducerController::undelegateForRacPressure(Addr line)
 {
+    verify::ConformanceScope scope(
+        _hub.observer(), verify::Ctrl::Producer, _hub.id(), line,
+        verify::PEvent::RacPressure,
+        [this, line]() { return producerStateGetter(_hub, line); });
+
     DelegateCache *dc = _hub.delegateCache();
     ProducerEntry *e = dc ? dc->producerFind(line) : nullptr;
     if (!e)

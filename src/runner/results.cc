@@ -93,6 +93,25 @@ toJson(const RunResult &r, bool with_timing)
         perf["ticksPerSec"] = JsonValue(r.perf.ticksPerSec());
     }
     v["perf"] = std::move(perf);
+
+    // Transition coverage exists only when the run had conformance
+    // checking on; omitting it otherwise keeps default-config
+    // documents byte-identical to pre-conformance ones.
+    if (!r.conformance.empty()) {
+        JsonValue conf = JsonValue::object();
+        JsonValue observed = JsonValue::array();
+        for (const auto &t : r.conformance) {
+            JsonValue e = JsonValue::object();
+            e["ctrl"] = JsonValue(std::uint64_t(t.ctrl));
+            e["state"] = JsonValue(std::uint64_t(t.state));
+            e["event"] = JsonValue(std::uint64_t(t.event));
+            e["next"] = JsonValue(std::uint64_t(t.next));
+            e["count"] = JsonValue(t.count);
+            observed.push(std::move(e));
+        }
+        conf["observed"] = std::move(observed);
+        v["conformance"] = std::move(conf);
+    }
     return v;
 }
 
@@ -130,6 +149,21 @@ runResultFromJson(const JsonValue &v)
 #undef X
         if (const JsonValue *w = perf->find("wallSeconds"))
             r.perf.wallSeconds = w->asDouble();
+    }
+
+    // Optional: only runs with conformance checking emit it.
+    if (const JsonValue *conf = v.find("conformance")) {
+        const JsonValue &observed = conf->at("observed");
+        for (std::size_t i = 0; i < observed.size(); ++i) {
+            const JsonValue &e = observed.at(i);
+            verify::TransitionCount t;
+            t.ctrl = static_cast<std::uint8_t>(e.at("ctrl").asUInt());
+            t.state = static_cast<std::uint8_t>(e.at("state").asUInt());
+            t.event = static_cast<std::uint8_t>(e.at("event").asUInt());
+            t.next = static_cast<std::uint8_t>(e.at("next").asUInt());
+            t.count = e.at("count").asUInt();
+            r.conformance.push_back(t);
+        }
     }
     return r;
 }

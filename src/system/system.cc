@@ -14,6 +14,13 @@ System::System(const MachineConfig &cfg)
       _net(_eq, cfg.proto.numNodes, cfg.net)
 {
     cfg.proto.validate();
+    if (cfg.proto.checkerEnabled || cfg.proto.conformanceEnabled)
+        _trace = std::make_unique<verify::MessageTrace>();
+    if (cfg.proto.conformanceEnabled) {
+        _observer = std::make_unique<verify::TransitionObserver>(
+            verify::protocolSpec(), _trace.get());
+    }
+    _checker.setTrace(_trace.get());
     Rng root(cfg.seed);
     std::vector<Hub *> hub_ptrs;
     for (unsigned n = 0; n < cfg.proto.numNodes; ++n) {
@@ -23,6 +30,7 @@ System::System(const MachineConfig &cfg)
         _hubs.back()->setConsumerHist(
             &_consumerHist, cfg.barrierBase,
             (cfg.proto.numNodes + 1) * cfg.proto.lineBytes);
+        _hubs.back()->setConformance(_observer.get(), _trace.get());
         hub_ptrs.push_back(_hubs.back().get());
     }
     _barrier = std::make_unique<BarrierDriver>(
@@ -118,6 +126,8 @@ System::run(Workload &workload, Tick max_ticks)
     r.perf.poolReuses = _net.poolStats().reuses;
     r.perf.simTicks = _eq.curTick();
     r.perf.wallSeconds = wall;
+    if (_observer)
+        r.conformance = _observer->coverage();
     return r;
 }
 

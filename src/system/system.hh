@@ -22,6 +22,8 @@
 #include "src/sim/event_queue.hh"
 #include "src/sim/perf.hh"
 #include "src/sim/stats.hh"
+#include "src/verify/observer.hh"
+#include "src/verify/trace.hh"
 #include "src/workload/workload.hh"
 
 namespace pcsim
@@ -61,6 +63,11 @@ struct RunResult
     /** Kernel/pool telemetry for the whole run (init + parallel
      *  phases); wallSeconds is host-dependent, the rest deterministic. */
     RunPerf perf;
+
+    /** Observed protocol transitions with counts (the coverage feed
+     *  for `pcsim lint --coverage`). Empty unless the run had
+     *  conformance checking enabled. */
+    std::vector<verify::TransitionCount> conformance;
 
     std::uint64_t totalMisses() const
     {
@@ -103,6 +110,11 @@ class System
   private:
     MachineConfig _cfg;
     EventQueue _eq;
+    /** Per-line recent-message ring, feeding checker and conformance
+     *  failure reports (null when both are disabled). */
+    std::unique_ptr<verify::MessageTrace> _trace;
+    /** Spec cross-checker; null unless conformanceEnabled. */
+    std::unique_ptr<verify::TransitionObserver> _observer;
     CoherenceChecker _checker;
     MemoryMap _memMap;
     Network _net;

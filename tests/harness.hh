@@ -15,11 +15,23 @@
 namespace pcsim
 {
 
+/** Tests run with the spec-conformance hook enabled: any controller
+ *  transition outside src/verify's declarative spec fails the test. */
+inline MachineConfig
+withConformance(MachineConfig cfg)
+{
+    cfg.proto.conformanceEnabled = true;
+    return cfg;
+}
+
 /** Synchronous access driver over an asynchronous System. */
 class Harness
 {
   public:
-    explicit Harness(const MachineConfig &cfg) : sys(cfg) {}
+    explicit Harness(const MachineConfig &cfg)
+        : sys(withConformance(cfg))
+    {
+    }
 
     /** Issue one access from @p cpu and drain the event queue.
      *  @return the version the access observed/produced. */

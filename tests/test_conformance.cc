@@ -1,0 +1,217 @@
+/** @file Runtime conformance-hook tests: the TransitionObserver must
+ *  fail the run on each violation class (with line address, node and
+ *  message-trace context), accumulate deterministic coverage on legal
+ *  sequences, and stay out of the way when disabled. */
+
+#include <gtest/gtest.h>
+
+#include "src/system/presets.hh"
+#include "src/system/system.hh"
+#include "src/verify/observer.hh"
+#include "src/verify/spec.hh"
+#include "src/verify/trace.hh"
+#include "src/workload/micro.hh"
+
+#include "harness.hh"
+
+using namespace pcsim;
+using namespace pcsim::verify;
+
+namespace
+{
+
+constexpr Addr kLine = 0x70000000ull;
+
+/** Two-state toy spec: I --CpuLoad--> {I, S} sending ReqShared only;
+ *  (S, Inval) declared impossible; everything else unspecified. */
+TransitionSpec
+tinySpec()
+{
+    TransitionSpec s;
+    s.declareState(Ctrl::Cache, 0, "I");
+    s.declareState(Ctrl::Cache, 1, "S");
+    s.setInitial(Ctrl::Cache, 0);
+    TransitionRule r;
+    r.ctrl = Ctrl::Cache;
+    r.state = 0;
+    r.event = PEvent::CpuLoad;
+    r.next = {0, 1};
+    r.sends = {MsgType::ReqShared};
+    s.add(r);
+    s.declareImpossible(Ctrl::Cache, 1, PEvent::Inval, "test");
+    return s;
+}
+
+Message
+msg(MsgType t)
+{
+    Message m;
+    m.type = t;
+    m.addr = kLine;
+    m.src = 0;
+    m.dst = 1;
+    return m;
+}
+
+} // namespace
+
+TEST(ConformanceDeathTest, NoRuleForPairFailsRun)
+{
+    TransitionSpec spec = tinySpec();
+    TransitionObserver obs(spec);
+    EXPECT_DEATH(obs.begin(Ctrl::Cache, 3, kLine, 0, PEvent::CpuStore),
+                 "conformance violation: no rule for this \\(state, "
+                 "event\\) pair");
+}
+
+TEST(ConformanceDeathTest, ImpossiblePairFailsRun)
+{
+    TransitionSpec spec = tinySpec();
+    TransitionObserver obs(spec);
+    EXPECT_DEATH(obs.begin(Ctrl::Cache, 3, kLine, 1, PEvent::Inval),
+                 "event declared impossible in this state");
+}
+
+TEST(ConformanceDeathTest, DisallowedSendFailsRun)
+{
+    TransitionSpec spec = tinySpec();
+    TransitionObserver obs(spec);
+    obs.begin(Ctrl::Cache, 3, kLine, 0, PEvent::CpuLoad);
+    obs.noteSend(msg(MsgType::ReqShared)); // allowed: no death
+    EXPECT_DEATH(obs.noteSend(msg(MsgType::ReqExcl)),
+                 "handler sent a message the spec does not allow");
+    obs.end(1);
+}
+
+TEST(ConformanceDeathTest, NextStateOutsideAllowedSetFailsRun)
+{
+    TransitionSpec spec = tinySpec();
+    TransitionObserver obs(spec);
+    obs.begin(Ctrl::Cache, 3, kLine, 0, PEvent::CpuLoad);
+    EXPECT_DEATH(obs.end(3),
+                 "next state outside the spec's allowed set");
+    obs.end(1);
+}
+
+TEST(ConformanceDeathTest, ViolationCarriesNodeLineAndTrace)
+{
+    TransitionSpec spec = tinySpec();
+    MessageTrace trace;
+    trace.record(msg(MsgType::ReqShared), 42);
+    TransitionObserver obs(spec, &trace);
+    // Node and line address in the report, plus the recorded message.
+    EXPECT_DEATH(obs.begin(Ctrl::Cache, 7, kLine, 0, PEvent::CpuStore),
+                 "node 7, line 0x70000000.*ReqShared");
+}
+
+TEST(Conformance, LegalSequencesAccumulateSortedCoverage)
+{
+    TransitionSpec spec = tinySpec();
+    TransitionObserver obs(spec);
+    for (int i = 0; i < 3; ++i) {
+        obs.begin(Ctrl::Cache, 0, kLine, 0, PEvent::CpuLoad);
+        obs.noteSend(msg(MsgType::ReqShared));
+        obs.end(1);
+    }
+    obs.begin(Ctrl::Cache, 0, kLine, 0, PEvent::CpuLoad);
+    obs.end(0);
+
+    const std::vector<TransitionCount> cov = obs.coverage();
+    ASSERT_EQ(cov.size(), 2u);
+    // Sorted by (ctrl, state, event, next): the I->I tuple first.
+    EXPECT_EQ(cov[0].next, 0u);
+    EXPECT_EQ(cov[0].count, 1u);
+    EXPECT_EQ(cov[1].next, 1u);
+    EXPECT_EQ(cov[1].count, 3u);
+    EXPECT_EQ(cov[1].ctrl,
+              static_cast<std::uint8_t>(Ctrl::Cache));
+    EXPECT_EQ(cov[1].event,
+              static_cast<std::uint8_t>(PEvent::CpuLoad));
+}
+
+TEST(Conformance, NestedFramesAttributeSendsToInnermost)
+{
+    TransitionSpec spec = tinySpec();
+    TransitionRule evict;
+    evict.ctrl = Ctrl::Cache;
+    evict.state = 1;
+    evict.event = PEvent::Evict;
+    evict.next = {0};
+    evict.sends = {MsgType::WritebackM};
+    spec.add(evict);
+
+    TransitionObserver obs(spec);
+    obs.begin(Ctrl::Cache, 0, kLine, 0, PEvent::CpuLoad);
+    // The fill evicts a victim: inner frame allows WritebackM even
+    // though the outer CpuLoad frame does not.
+    obs.begin(Ctrl::Cache, 0, kLine + 128, 1, PEvent::Evict);
+    obs.noteSend(msg(MsgType::WritebackM));
+    obs.end(0);
+    obs.noteSend(msg(MsgType::ReqShared));
+    obs.end(1);
+    EXPECT_EQ(obs.coverage().size(), 2u);
+}
+
+TEST(Conformance, SendsOutsideAnyFrameAreIgnored)
+{
+    TransitionSpec spec = tinySpec();
+    TransitionObserver obs(spec);
+    obs.noteSend(msg(MsgType::Update)); // no open frame: no check
+    EXPECT_TRUE(obs.coverage().empty());
+}
+
+TEST(Conformance, ScopeWithNullObserverIsInert)
+{
+    bool sampled = false;
+    {
+        ConformanceScope scope(nullptr, Ctrl::Cache, 0, kLine,
+                               PEvent::CpuLoad, [&] {
+                                   sampled = true;
+                                   return StateId{0};
+                               });
+        scope.overridePost(1);
+    }
+    EXPECT_FALSE(sampled);
+}
+
+TEST(Conformance, ScopeSamplesAndOverridesPost)
+{
+    TransitionSpec spec = tinySpec();
+    TransitionObserver obs(spec);
+    {
+        ConformanceScope scope(&obs, Ctrl::Cache, 0, kLine,
+                               PEvent::CpuLoad,
+                               [] { return StateId{0}; });
+        scope.overridePost(1); // slot recycled: report S, not re-sample
+    }
+    const auto cov = obs.coverage();
+    ASSERT_EQ(cov.size(), 1u);
+    EXPECT_EQ(cov[0].next, 1u);
+}
+
+TEST(Conformance, FullRunAgainstShippedSpecExportsCoverage)
+{
+    ProducerConsumerMicro wl(16);
+    RunResult r =
+        runWorkload(withConformance(presets::small(16)), wl, "small");
+    ASSERT_FALSE(r.conformance.empty());
+    // All three controllers must report transitions.
+    bool seen[3] = {false, false, false};
+    std::uint64_t total = 0;
+    for (const TransitionCount &t : r.conformance) {
+        ASSERT_LT(t.ctrl, 3u);
+        seen[t.ctrl] = true;
+        total += t.count;
+    }
+    EXPECT_TRUE(seen[0]);
+    EXPECT_TRUE(seen[1]);
+    EXPECT_TRUE(seen[2]);
+    EXPECT_GT(total, 1000u);
+}
+
+TEST(Conformance, DisabledByDefaultLeavesResultEmpty)
+{
+    ProducerConsumerMicro wl(16);
+    RunResult r = runWorkload(presets::small(16), wl, "small");
+    EXPECT_TRUE(r.conformance.empty());
+}

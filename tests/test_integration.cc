@@ -12,11 +12,25 @@
 
 using namespace pcsim;
 
+namespace
+{
+
+/** Integration runs double as conformance coverage: every controller
+ *  transition is checked against the declarative spec (src/verify). */
+MachineConfig
+conf(MachineConfig cfg)
+{
+    cfg.proto.conformanceEnabled = true;
+    return cfg;
+}
+
+} // namespace
+
 TEST(Integration, ProducerConsumerMicroImprovesWithUpdates)
 {
     ProducerConsumerMicro wl(16);
-    RunResult base = runWorkload(presets::base(16), wl, "base");
-    RunResult upd = runWorkload(presets::small(16), wl, "small");
+    RunResult base = runWorkload(conf(presets::base(16)), wl, "base");
+    RunResult upd = runWorkload(conf(presets::small(16)), wl, "small");
     EXPECT_LT(upd.cycles, base.cycles);
     EXPECT_LT(upd.nodes.remoteMisses, base.nodes.remoteMisses);
     EXPECT_GT(upd.nodes.updatesConsumed, 0u);
@@ -25,11 +39,11 @@ TEST(Integration, ProducerConsumerMicroImprovesWithUpdates)
 TEST(Integration, MigratoryMicroNeitherDelegatesNorBreaks)
 {
     MigratoryMicro wl(16);
-    RunResult r = runWorkload(presets::small(16), wl, "small");
+    RunResult r = runWorkload(conf(presets::small(16)), wl, "small");
     // The conservative detector rejects migratory sharing; barrier
     // flag lines may still legitimately delegate.
     EXPECT_EQ(r.nodes.updatesSent, r.nodes.updatesSent);
-    RunResult b = runWorkload(presets::base(16), wl, "base");
+    RunResult b = runWorkload(conf(presets::base(16)), wl, "base");
     // Performance must not collapse (within 25% either way).
     EXPECT_LT(r.cycles, b.cycles * 5 / 4);
 }
@@ -37,7 +51,7 @@ TEST(Integration, MigratoryMicroNeitherDelegatesNorBreaks)
 TEST(Integration, StatsResetExcludesInitPhase)
 {
     ProducerConsumerMicro wl(16);
-    System sys(presets::base(16));
+    System sys(conf(presets::base(16)));
     RunResult r = sys.run(wl);
     // Parallel-phase cycles must be less than total simulated time
     // (init happened before the reset).
@@ -50,7 +64,7 @@ TEST(Integration, ConsumerHistogramMatchesMicroShape)
     ProducerConsumerMicro::Params p;
     p.numConsumers = 3;
     ProducerConsumerMicro wl(16, p);
-    RunResult r = runWorkload(presets::base(16), wl, "base");
+    RunResult r = runWorkload(conf(presets::base(16)), wl, "base");
     ASSERT_GT(r.consumerHist.total(), 0u);
     // The dominant bucket must be 3 consumers.
     std::size_t best = 0;
@@ -82,7 +96,7 @@ TEST_P(RandomFuzz, InvariantsHoldUnderRandomTraffic)
     p.lines = 16;
     RandomMicro wl(16, p);
 
-    RunResult r = runWorkload(cfg, wl, cfgs[config].name);
+    RunResult r = runWorkload(conf(cfg), wl, cfgs[config].name);
     EXPECT_GT(r.totalMisses(), 0u);
 }
 
@@ -101,7 +115,7 @@ TEST(RandomFuzzExtreme, TinyDelegateCacheAndRac)
     p.lines = 32;
     p.writeFraction = 0.3;
     RandomMicro wl(16, p);
-    RunResult r = runWorkload(cfg, wl, "tiny");
+    RunResult r = runWorkload(conf(cfg), wl, "tiny");
     EXPECT_GT(r.totalMisses(), 0u);
 }
 
@@ -110,7 +124,7 @@ TEST(RandomFuzzExtreme, OneCycleInterventionDelay)
     MachineConfig cfg = presets::small(16);
     cfg.proto.interventionDelay = 1;
     RandomMicro wl(16);
-    runWorkload(cfg, wl, "delay1");
+    runWorkload(conf(cfg), wl, "delay1");
 }
 
 TEST(RandomFuzzExtreme, TinyL2ForcesWritebackRaces)
@@ -122,7 +136,7 @@ TEST(RandomFuzzExtreme, TinyL2ForcesWritebackRaces)
     p.lines = 48; // exceeds the L2: constant evictions
     p.opsPerCpu = 400;
     RandomMicro wl(16, p);
-    runWorkload(cfg, wl, "tinyL2");
+    runWorkload(conf(cfg), wl, "tinyL2");
 }
 
 // --- Scaled-down full applications under the checker ---------------
@@ -134,8 +148,8 @@ class SuiteUnderChecker : public ::testing::TestWithParam<std::string>
 TEST_P(SuiteUnderChecker, BaseAndFullConfigRunClean)
 {
     auto wl = makeWorkload(GetParam(), 16, 0.15);
-    RunResult base = runWorkload(presets::base(16), *wl, "base");
-    RunResult full = runWorkload(presets::large(16), *wl, "large");
+    RunResult base = runWorkload(conf(presets::base(16)), *wl, "base");
+    RunResult full = runWorkload(conf(presets::large(16)), *wl, "large");
     EXPECT_GT(base.cycles, 0u);
     EXPECT_GT(full.cycles, 0u);
     // The mechanisms must never lose misses entirely nor blow up the
@@ -153,8 +167,8 @@ TEST(Integration, SuiteShowsRemoteMissReduction)
     // at this tiny scale).
     for (const char *name : {"Ocean", "Em3D", "LU"}) {
         auto wl = makeWorkload(name, 16, 0.3);
-        RunResult base = runWorkload(presets::base(16), *wl, "base");
-        RunResult full = runWorkload(presets::large(16), *wl, "large");
+        RunResult base = runWorkload(conf(presets::base(16)), *wl, "base");
+        RunResult full = runWorkload(conf(presets::large(16)), *wl, "large");
         EXPECT_LT(full.nodes.remoteMisses, base.nodes.remoteMisses)
             << name;
         EXPECT_LT(full.cycles, base.cycles) << name;
@@ -165,8 +179,8 @@ TEST(Integration, SuiteShowsRemoteMissReduction)
 TEST(Integration, RunsAreDeterministic)
 {
     auto wl = makeWorkload("Ocean", 16, 0.15);
-    RunResult a = runWorkload(presets::small(16), *wl, "small");
-    RunResult b = runWorkload(presets::small(16), *wl, "small");
+    RunResult a = runWorkload(conf(presets::small(16)), *wl, "small");
+    RunResult b = runWorkload(conf(presets::small(16)), *wl, "small");
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.netMessages, b.netMessages);
     EXPECT_EQ(a.nodes.remoteMisses, b.nodes.remoteMisses);
@@ -175,7 +189,7 @@ TEST(Integration, RunsAreDeterministic)
 TEST(Integration, CheckerCountsWork)
 {
     ProducerConsumerMicro wl(16);
-    System sys(presets::small(16));
+    System sys(conf(presets::small(16)));
     RunResult r = sys.run(wl);
     (void)r;
     EXPECT_GT(sys.checker().numChecks(), 1000u);

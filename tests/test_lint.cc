@@ -1,0 +1,193 @@
+/** @file Protocol-spec lint tests: the shipped spec must be clean
+ *  (golden-file check on the JSON report), and a seeded defect of
+ *  each class must be caught by the matching pass. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/cache/line_state.hh"
+#include "src/mem/directory.hh"
+#include "src/verify/lint.hh"
+#include "src/verify/spec.hh"
+
+using namespace pcsim;
+using namespace pcsim::verify;
+
+namespace
+{
+
+bool
+hasFinding(const LintReport &r, const std::string &kind,
+           const std::string &state, const std::string &event)
+{
+    return std::any_of(r.findings.begin(), r.findings.end(),
+                       [&](const LintFinding &f) {
+                           return f.kind == kind && f.state == state &&
+                                  f.event == event;
+                       });
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(Lint, ShippedSpecIsClean)
+{
+    const LintReport r = lintSpec(protocolSpec());
+    for (const auto &f : r.findings) {
+        ADD_FAILURE() << f.kind << ": " << f.ctrl << " " << f.state
+                      << " x " << f.event << ": " << f.detail;
+    }
+    EXPECT_TRUE(r.clean());
+}
+
+TEST(Lint, ShippedSpecMatchesModel)
+{
+    const LintReport r = lintSpecWithModel(protocolSpec());
+    for (const auto &f : r.findings) {
+        ADD_FAILURE() << f.kind << ": " << f.ctrl << " " << f.state
+                      << " x " << f.event << ": " << f.detail;
+    }
+    EXPECT_TRUE(r.clean());
+    EXPECT_EQ(r.mcConfigs, 3u);
+    EXPECT_GT(r.mcStates, 100'000u);
+    EXPECT_GT(r.mcObserved, 50u);
+}
+
+TEST(Lint, GoldenJsonReport)
+{
+    // The serialized static-lint report is a committed artifact:
+    // regenerate tests/golden/lint_clean.json when the spec grows
+    // (build/apps/pcsim lint --no-mc --json tests/golden/...).
+    const TransitionSpec &spec = protocolSpec();
+    const std::string got =
+        lintToJson(spec, lintSpec(spec)).dump(2) + "\n";
+    const std::string want =
+        readFile(std::string(PCSIM_SOURCE_DIR) +
+                 "/tests/golden/lint_clean.json");
+    ASSERT_FALSE(want.empty()) << "golden file missing";
+    EXPECT_EQ(got, want);
+}
+
+TEST(Lint, DetectsUnhandledPair)
+{
+    TransitionSpec spec = buildProtocolSpec();
+    ASSERT_TRUE(spec.removeRule(Ctrl::Producer, prodExcl,
+                                PEvent::LocalFlush));
+    const LintReport r = lintSpec(spec);
+    EXPECT_EQ(r.findings.size(), 1u);
+    EXPECT_TRUE(hasFinding(r, "unhandled", "Excl", "LocalFlush"));
+}
+
+TEST(Lint, DetectsDuplicateRules)
+{
+    TransitionSpec spec = buildProtocolSpec();
+    TransitionRule dup;
+    dup.ctrl = Ctrl::Cache;
+    dup.state = static_cast<StateId>(LineState::Invalid);
+    dup.event = PEvent::CpuLoad;
+    dup.next = {static_cast<StateId>(LineState::Invalid)};
+    spec.add(dup);
+    const LintReport r = lintSpec(spec);
+    EXPECT_EQ(r.findings.size(), 1u);
+    EXPECT_TRUE(hasFinding(r, "ambiguous", "I", "CpuLoad"));
+}
+
+TEST(Lint, DetectsRuleImpossibleConflict)
+{
+    TransitionSpec spec = buildProtocolSpec();
+    spec.declareImpossible(Ctrl::Cache,
+                           static_cast<StateId>(LineState::Invalid),
+                           PEvent::CpuLoad, "seeded conflict");
+    const LintReport r = lintSpec(spec);
+    EXPECT_EQ(r.findings.size(), 1u);
+    EXPECT_TRUE(hasFinding(r, "ambiguous", "I", "CpuLoad"));
+}
+
+TEST(Lint, DetectsUnreachableState)
+{
+    TransitionSpec spec = buildProtocolSpec();
+    // LineState::Exclusive exists in the enum but the protocol never
+    // grants it; declaring it without any inbound rule must flag it.
+    spec.declareState(Ctrl::Cache,
+                      static_cast<StateId>(LineState::Exclusive),
+                      "E");
+    const LintReport r = lintSpec(spec);
+    EXPECT_TRUE(hasFinding(r, "unreachable", "E", ""));
+    // The freshly declared state also lacks rules for every relevant
+    // event; each of those is an unhandled finding.
+    EXPECT_TRUE(hasFinding(r, "unhandled", "E", "CpuLoad"));
+}
+
+TEST(Lint, DetectsModelMismatch)
+{
+    TransitionSpec spec = buildProtocolSpec();
+    // Break the directory's ReqShared rule: pretend Unowned can only
+    // stay Unowned. The model takes Unowned -> Shared on the first
+    // read, which the cross-check must flag.
+    TransitionRule *rule =
+        spec.findMutable(Ctrl::Dir,
+                         static_cast<StateId>(DirState::Unowned),
+                         PEvent::ReqShared);
+    ASSERT_NE(rule, nullptr);
+    rule->next = {static_cast<StateId>(DirState::Unowned)};
+    ASSERT_TRUE(lintSpec(spec).clean()) << "defect must be mc-only";
+    const LintReport r = lintSpecWithModel(spec);
+    EXPECT_TRUE(hasFinding(r, "mc-mismatch", "Unowned", "ReqShared"));
+}
+
+TEST(Lint, CoverageFoldsObservedCounts)
+{
+    const TransitionSpec &spec = protocolSpec();
+    std::vector<TransitionCount> observed;
+    TransitionCount t;
+    t.ctrl = static_cast<std::uint8_t>(Ctrl::Cache);
+    t.state = static_cast<std::uint8_t>(LineState::Invalid);
+    t.event = static_cast<std::uint8_t>(PEvent::CpuLoad);
+    t.next = static_cast<std::uint8_t>(LineState::Shared);
+    t.count = 7;
+    observed.push_back(t);
+    observed.push_back(t); // second run of the same tuple merges
+
+    const CoverageReport r = computeCoverage(spec, observed);
+    EXPECT_GT(r.legal, 100u);
+    EXPECT_EQ(r.exercised, 1u);
+    bool found = false;
+    for (const auto &row : r.rows) {
+        if (row.ctrl == Ctrl::Cache &&
+            row.state == static_cast<StateId>(LineState::Invalid) &&
+            row.event == PEvent::CpuLoad &&
+            row.next == static_cast<StateId>(LineState::Shared)) {
+            found = true;
+            EXPECT_EQ(row.count, 14u);
+        } else {
+            EXPECT_EQ(row.count, 0u);
+        }
+    }
+    EXPECT_TRUE(found);
+
+    const std::string csv = coverageToCsv(spec, r);
+    EXPECT_NE(csv.find("cache,I,CpuLoad,S,14"), std::string::npos);
+}
+
+TEST(Lint, CsvEscapesAndLists)
+{
+    TransitionSpec spec = buildProtocolSpec();
+    ASSERT_TRUE(spec.removeRule(Ctrl::Producer, prodExcl,
+                                PEvent::LocalFlush));
+    const std::string csv = lintToCsv(lintSpec(spec));
+    EXPECT_NE(csv.find("kind,controller,state,event,detail"),
+              std::string::npos);
+    EXPECT_NE(csv.find("unhandled,producer,Excl,LocalFlush"),
+              std::string::npos);
+}

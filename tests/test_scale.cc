@@ -187,6 +187,7 @@ TEST(ScaleIntegration, SixtyFourNodeConfigsRunClean)
     for (const auto &nc : presets::scaleConfigs(64)) {
         MachineConfig cfg = nc.cfg;
         cfg.proto.checkerEnabled = true;
+        cfg.proto.conformanceEnabled = true;
         ProducerConsumerMicro::Params p;
         p.iterations = 6;
         ProducerConsumerMicro wl(64, p);
@@ -203,6 +204,7 @@ TEST(ScaleIntegration, SixtyFourNodeCoarseVectorRunsClean)
     MachineConfig cfg =
         presets::coarse(presets::small(64), /*nodes_per_bit=*/8);
     cfg.proto.checkerEnabled = true;
+    cfg.proto.conformanceEnabled = true;
     RandomMicro::Params p;
     p.opsPerCpu = 150;
     p.lines = 24;

@@ -106,9 +106,9 @@ TEST(SystemTest, SeedChangesNothingForDeterministicWorkloads)
     // Randomness only drives replacement tie-breaks and retry jitter;
     // two different seeds must still produce valid (and close) runs.
     ProducerConsumerMicro wl(16);
-    MachineConfig a = presets::small(16);
+    MachineConfig a = withConformance(presets::small(16));
     a.seed = 1;
-    MachineConfig b = presets::small(16);
+    MachineConfig b = withConformance(presets::small(16));
     b.seed = 99;
     RunResult ra = runWorkload(a, wl, "a");
     RunResult rb = runWorkload(b, wl, "b");
