@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/runner/bench.hh"
+#include "src/runner/faults.hh"
 #include "src/runner/figures.hh"
 #include "src/runner/job.hh"
 #include "src/runner/results.hh"
@@ -45,6 +46,7 @@ usage(std::FILE *out)
 "  pcsim sweep (--figure 7|9|10 | --table 2) [options]\n"
 "  pcsim scale [--nodes n,m,...] [--workload W] [options]\n"
 "  pcsim bench [--json PATH] [--baseline PATH] [options]\n"
+"  pcsim faults [--scenario a,b] [--workload W] [options]\n"
 "  pcsim lint  [--no-mc] [--coverage results.json] [options]\n"
 "  pcsim list             list workloads and configuration presets\n"
 "  pcsim help             show this text\n"
@@ -76,6 +78,13 @@ usage(std::FILE *out)
 "  --scale F              workload scale per point (default: 0.25)\n"
 "  --repeats N            repeats per point, best wall time\n"
 "                         (default: 1)\n"
+"\n"
+"faults (fault-injection robustness sweep; checker + conformance are\n"
+"always on, and exponential retry backoff is enabled):\n"
+"  --scenario a,b         fault scenarios (default: all): gray-links,\n"
+"                         ni-stalls, hotspot, dir-pressure, storm\n"
+"  --workload W           workload per point (default: PCmicro)\n"
+"  default --json is BENCH_faults.json\n"
 "\n"
 "bench options:\n"
 "  --events N             events per kernel microbenchmark\n"
@@ -142,6 +151,7 @@ struct Options
     bool quiet = false;
     int figure = 0;   ///< 7, 9 or 10
     int tableNum = 0; ///< 2
+    std::vector<std::string> scenarioList; ///< faults: scenario names
 
     // bench / scale
     std::uint64_t benchEvents = 2000000;
@@ -273,6 +283,11 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.tableNum = int(std::strtol(v, nullptr, 10));
+        } else if (arg == "--scenario" || arg == "--scenarios") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.scenarioList = splitList(v);
         } else if (arg == "--events") {
             const char *v = value();
             if (!v)
@@ -740,6 +755,37 @@ main(int argc, char **argv)
         sopt.jsonPath = opt.jsonPath;
         sopt.quiet = opt.quiet;
         return runner::runScaleSweep(sopt);
+    }
+    if (cmd == "faults") {
+        runner::FaultsOptions fopt;
+        if (!opt.workloads.empty()) {
+            if (opt.workloads.size() > 1) {
+                std::fprintf(stderr, "pcsim faults: one workload "
+                                     "only\n");
+                return 1;
+            }
+            const std::string canonical =
+                runner::canonicalWorkload(opt.workloads[0]);
+            if (canonical.empty()) {
+                std::fprintf(stderr, "pcsim: unknown workload '%s'\n",
+                             opt.workloads[0].c_str());
+                return 1;
+            }
+            fopt.workload = canonical;
+        }
+        if (opt.scaleSet)
+            fopt.scale = opt.scale;
+        fopt.nodes = opt.nodes;
+        fopt.scenarios = opt.scenarioList;
+        fopt.seed = opt.seeds.front();
+        fopt.threads = opt.threadsSet ? opt.threads : 0;
+        fopt.jsonPath =
+            opt.jsonPath.empty() ? "BENCH_faults.json" : opt.jsonPath;
+        fopt.csvPath = opt.csvPath;
+        fopt.quiet = opt.quiet;
+        fopt.deterministicCheck = opt.deterministicCheck;
+        fopt.table = opt.table;
+        return runner::runFaultSweep(fopt);
     }
     if (cmd == "bench") {
         runner::BenchOptions bopt;

@@ -178,6 +178,19 @@ class CacheArray
         }
     }
 
+    /** Number of valid lines in the set @p a maps to. */
+    std::size_t
+    setOccupancy(Addr a) const
+    {
+        const Addr line = lineAlign(a);
+        const Slot *set =
+            &_slots[setIndex(line) * _ways];
+        std::size_t n = 0;
+        for (std::size_t w = 0; w < _ways; ++w)
+            n += set[w].valid ? 1 : 0;
+        return n;
+    }
+
     /** Number of valid lines. */
     std::size_t
     occupancy() const

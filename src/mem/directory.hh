@@ -176,17 +176,24 @@ class DirectoryCache
      * Access the entry for @p line, filling from the store on a miss.
      * @param[out] was_miss set true when the backing store had to be
      *             consulted (caller charges DRAM latency).
+     * @param ways_limit when nonzero, refuse to allocate into a set
+     *        already holding this many lines (fault injection:
+     *        temporarily shrunk associativity; hits are unaffected, so
+     *        resident busy entries stay reachable).
      * @return the cached entry, or nullptr if the set is wedged with
-     *         unevictable (busy / delegated) entries.
+     *         unevictable (busy / delegated) entries or capped by
+     *         @p ways_limit.
      */
     DirCacheEntry *
-    access(Addr line, bool &was_miss)
+    access(Addr line, bool &was_miss, unsigned ways_limit = 0)
     {
         was_miss = false;
         if (DirCacheEntry *hit = _array.find(line))
             return hit;
 
         was_miss = true;
+        if (ways_limit && _array.setOccupancy(line) >= ways_limit)
+            return nullptr;
         DirCacheEntry *e = _array.allocate(
             line,
             [](Addr, const DirCacheEntry &v) {

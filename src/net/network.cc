@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/net/faults.hh"
 #include "src/sim/logging.hh"
 
 namespace pcsim
@@ -60,17 +61,44 @@ Network::sendAcquired(Message *pm)
             std::max<Tick>(1, bytes / _cfg.niBytesPerCycle);
         const unsigned hops = _topo.hops(msg.src, msg.dst);
 
-        // Serialize injection at the source NI.
+        // Serialize injection at the source NI; a fault-injected
+        // stall window pauses injection entirely.
         Tick inject = std::max(now, _egressFree[msg.src]);
+        Tick fault_delay = 0;
+        if (_faults) {
+            const Tick clear =
+                _faults->stallClearTick(msg.src, inject);
+            fault_delay += clear - inject;
+            inject = clear;
+        }
         _egressFree[msg.src] = inject + occupancy;
 
-        // Wire latency across the fat tree.
-        Tick arrive = inject + occupancy + _cfg.hopLatency * hops;
+        // Wire latency across the fat tree, plus any gray-link /
+        // hot-spot degradation. Extra latency lands BEFORE the
+        // destination NI booking below, so same-(src,dst) ordering is
+        // untouched: ejection times are serialized through
+        // _ingressFree in injection order regardless of the delay.
+        Tick extra = 0;
+        if (_faults)
+            extra = _faults->extraLatency(msg.src, msg.dst, inject);
+        fault_delay += extra;
+        Tick arrive = inject + occupancy + _cfg.hopLatency * hops +
+                      extra;
 
-        // Serialize ejection at the destination NI.
+        // Serialize ejection at the destination NI (also stallable).
         Tick eject = std::max(arrive, _ingressFree[msg.dst]);
+        if (_faults) {
+            const Tick clear = _faults->stallClearTick(msg.dst, eject);
+            fault_delay += clear - eject;
+            eject = clear;
+        }
         _ingressFree[msg.dst] = eject + occupancy;
         deliver = eject + occupancy;
+
+        if (fault_delay) {
+            ++_faultDelayed;
+            _faultExtraTicks += fault_delay;
+        }
 
         ++_numMessages;
         _numBytes += bytes;
@@ -95,6 +123,8 @@ Network::resetStats()
     _numLocal = 0;
     std::fill(_perType.begin(), _perType.end(), 0);
     _hopHist.reset();
+    _faultDelayed = 0;
+    _faultExtraTicks = 0;
 }
 
 } // namespace pcsim

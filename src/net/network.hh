@@ -31,6 +31,8 @@
 namespace pcsim
 {
 
+class FaultPlan;
+
 /** Configuration for the interconnect. */
 struct NetworkConfig
 {
@@ -82,6 +84,23 @@ class Network : public SimObject
     const FatTreeTopology &topology() const { return _topo; }
     const NetworkConfig &config() const { return _cfg; }
 
+    /** @name Fault injection (src/net/faults.hh).
+     *
+     * A run with faults enabled installs its FaultPlan here; the
+     * network consults it for NI-stall windows and per-link extra
+     * latency. Faults only add delay before the destination NI's
+     * ejection booking, so per-(src,dst) ordering and losslessness
+     * are preserved. Null (the default) is the fault-free fast path.
+     */
+    /// @{
+    void setFaultPlan(const FaultPlan *plan) { _faults = plan; }
+    const FaultPlan *faultPlan() const { return _faults; }
+    /** Remote messages that picked up any fault-induced delay. */
+    std::uint64_t faultDelayedMessages() const { return _faultDelayed; }
+    /** Total fault-induced delay ticks across those messages. */
+    std::uint64_t faultExtraTicks() const { return _faultExtraTicks; }
+    /// @}
+
     /** @name Traffic statistics (remote messages only). */
     /// @{
     std::uint64_t numMessages() const { return _numMessages; }
@@ -112,6 +131,10 @@ class Network : public SimObject
     std::uint64_t _numLocal = 0;
     std::vector<std::uint64_t> _perType;
     Histogram _hopHist;
+
+    const FaultPlan *_faults = nullptr;
+    std::uint64_t _faultDelayed = 0;
+    std::uint64_t _faultExtraTicks = 0;
 
     /** Recycled storage for in-flight messages. */
     Pool<Message> _msgPool;

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The one retry-backoff policy every retry path shares.
+ *
+ * Attempt k waits `retryBase << min(k, retryExpCap)` plus a uniform
+ * jitter draw in [0, retryJitter]. The default `retryExpCap = 0`
+ * reproduces the paper's flat randomized backoff exactly (one RNG
+ * draw, delay in [retryBase, retryBase + retryJitter]); fault-stress
+ * configurations raise the cap so colliding retries spread out
+ * exponentially instead of hammering a degraded home in near-lockstep.
+ */
+
+#ifndef PCSIM_PROTOCOL_BACKOFF_HH
+#define PCSIM_PROTOCOL_BACKOFF_HH
+
+#include <cstdint>
+
+#include "src/protocol/config.hh"
+#include "src/sim/random.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/**
+ * Backoff delay before retry attempt @p attempt (0-based).
+ * @param exponent_out when non-null, receives the capped exponent
+ *        actually used (feeds NodeStats::backoffHist).
+ */
+inline Tick
+retryBackoff(const ProtocolConfig &cfg, std::uint64_t attempt, Rng &rng,
+             std::size_t *exponent_out = nullptr)
+{
+    const std::uint64_t exp =
+        attempt < cfg.retryExpCap ? attempt : cfg.retryExpCap;
+    if (exponent_out)
+        *exponent_out = static_cast<std::size_t>(exp);
+    return (cfg.retryBase << exp) + rng.below(cfg.retryJitter + 1);
+}
+
+} // namespace pcsim
+
+#endif // PCSIM_PROTOCOL_BACKOFF_HH

@@ -1,5 +1,6 @@
 #include "src/protocol/cache_controller.hh"
 
+#include "src/protocol/backoff.hh"
 #include "src/protocol/hub.hh"
 #include "src/protocol/producer_controller.hh"
 #include "src/sim/logging.hh"
@@ -63,7 +64,8 @@ CacheController::performStore(Addr line, L2Entry &entry)
 }
 
 void
-CacheController::access(bool is_write, Addr addr, AccessCallback done)
+CacheController::access(bool is_write, Addr addr, AccessCallback done,
+                        unsigned conflict_retries)
 {
     const Addr line = _hub.lineOf(addr);
     NodeStats &st = _hub.stats();
@@ -116,12 +118,12 @@ CacheController::access(bool is_write, Addr addr, AccessCallback done)
         }
     }
 
-    missPath(is_write, addr, line, std::move(done));
+    missPath(is_write, addr, line, std::move(done), conflict_retries);
 }
 
 void
 CacheController::missPath(bool is_write, Addr addr, Addr line,
-                          AccessCallback done)
+                          AccessCallback done, unsigned conflict_retries)
 {
     NodeStats &st = _hub.stats();
     EventQueue &eq = _hub.eventQueue();
@@ -129,17 +131,31 @@ CacheController::missPath(bool is_write, Addr addr, Addr line,
     if (_mshrs.find(line) || _mshrs.full()) {
         // With one blocking CPU per node this can only be a same-line
         // conflict with in-flight protocol work; retry the FULL
-        // access path shortly -- the conflicting transaction may turn
-        // this access into a plain cache hit. Undo the access count
-        // (the retry will recount).
+        // access path with the shared jittered backoff -- the
+        // conflicting transaction may turn this access into a plain
+        // cache hit, and the jitter keeps repeated conflicts from
+        // convoying with the protocol work they collide with. Undo
+        // the access count (the retry will recount).
         if (is_write)
             --st.writes;
         else
             --st.reads;
-        eq.scheduleIn(_cfg.retryBase, [this, is_write, addr,
-                                       done = std::move(done)]() mutable {
-            access(is_write, addr, std::move(done));
-        });
+        if (conflict_retries >= _cfg.maxRetries)
+            panic("node %u: access to 0x%llx exceeded %u MSHR-conflict "
+                  "retries (livelock?)",
+                  _hub.id(), (unsigned long long)line, _cfg.maxRetries);
+        ++st.retries;
+        ++st.mshrConflictRetries;
+        std::size_t exp = 0;
+        const Tick backoff =
+            retryBackoff(_cfg, conflict_retries, _rng, &exp);
+        st.backoffHist.sample(exp);
+        eq.scheduleIn(backoff,
+                      [this, is_write, addr, conflict_retries,
+                       done = std::move(done)]() mutable {
+                          access(is_write, addr, std::move(done),
+                                 conflict_retries + 1);
+                      });
         return;
     }
 
@@ -223,7 +239,10 @@ CacheController::retry(Addr line)
     if (!m)
         return;
     ++m->retries;
-    _hub.stats().retries++;
+    NodeStats &st = _hub.stats();
+    ++st.retries;
+    if (m->retries > st.maxRetriesPerLine)
+        st.maxRetriesPerLine = m->retries;
     if (m->retries > _cfg.maxRetries)
         panic("node %u: transaction for 0x%llx exceeded %u retries "
               "(livelock?)",
@@ -341,8 +360,9 @@ CacheController::handleResponse(const Message &msg)
 
       case MsgType::Nack: {
         ++st.nacksReceived;
-        const Tick backoff =
-            _cfg.retryBase + _rng.below(_cfg.retryJitter + 1);
+        std::size_t exp = 0;
+        const Tick backoff = retryBackoff(_cfg, m->retries, _rng, &exp);
+        st.backoffHist.sample(exp);
         _hub.eventQueue().scheduleIn(backoff,
                                      [this, line]() { retry(line); });
         return;

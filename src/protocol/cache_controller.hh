@@ -53,8 +53,11 @@ class CacheController
   public:
     CacheController(Hub &hub, Rng rng);
 
-    /** CPU access entry point (called via Hub::cpuAccess). */
-    void access(bool is_write, Addr addr, AccessCallback done);
+    /** CPU access entry point (called via Hub::cpuAccess).
+     *  @p conflict_retries counts MSHR-conflict reschedules of this
+     *  same access (internal; feeds the maxRetries guard). */
+    void access(bool is_write, Addr addr, AccessCallback done,
+                unsigned conflict_retries = 0);
 
     /** @name Network-message entry points (dispatched by the Hub). */
     /// @{
@@ -91,7 +94,7 @@ class CacheController
 
   private:
     void missPath(bool is_write, Addr addr, Addr line,
-                  AccessCallback done);
+                  AccessCallback done, unsigned conflict_retries);
     /** Pick the target (producer table / consumer hint / home) and
      *  send the MSHR's request. */
     void sendRequest(Mshr &m);

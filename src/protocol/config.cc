@@ -43,6 +43,18 @@ ProtocolConfig::validateError() const
         return "mshrs must be at least 1";
     if (maxRetries == 0)
         return "maxRetries must be at least 1";
+    if (retryBase == 0)
+        return "retryBase must be nonzero";
+    if (retryExpCap > 20)
+        return format("retryExpCap %llu would shift retryBase past "
+                      "any plausible horizon (max 20)",
+                      retryExpCap);
+    if (retryJitter == 0 && numNodes >= 64)
+        return format("retryJitter 0 at %llu nodes: colliding "
+                      "requesters retry in lockstep and can convoy "
+                      "into a livelock (see config.hh); set "
+                      "retryJitter > 0",
+                      numNodes);
 
     if (l1.sizeBytes == 0 || l1.ways == 0 ||
         l1.sizeBytes < l1.ways * l1.lineBytes)
@@ -78,6 +90,13 @@ ProtocolConfig::validateError() const
     if (updatesEnabled && !delegationEnabled)
         return "speculative updates require delegation: enable "
                "delegationEnabled";
+
+    if (faults.enabled) {
+        const std::string ferr =
+            faults.validateError(numNodes, dirCache.ways);
+        if (!ferr.empty())
+            return "fault injection: " + ferr;
+    }
     return "";
 }
 

@@ -15,6 +15,7 @@
 #include "src/core/rac.hh"
 #include "src/mem/dram.hh"
 #include "src/mem/directory.hh"
+#include "src/net/faults.hh"
 #include "src/net/network.hh"
 #include "src/sim/types.hh"
 
@@ -58,10 +59,33 @@ struct ProtocolConfig
      *  DirectoryStore hash table so it never rehashes mid-run. */
     std::size_t dirReserveLines = 1 << 15;
 
-    // NACK retry behaviour.
+    /**
+     * @name NACK retry behaviour (src/protocol/backoff.hh).
+     *
+     * Attempt k backs off `retryBase << min(k, retryExpCap)` plus a
+     * uniform jitter in [0, retryJitter]. The jitter is what breaks
+     * retry convoys: after a NACK storm (e.g. many writers colliding
+     * on one home line, or a fault window shrinking the directory
+     * cache), requesters with identical timing would otherwise retry
+     * in lockstep and collide forever. retryJitter = 0 is therefore
+     * rejected by validate() at 64+ nodes, where enough requesters
+     * can align for the convoy to become a livelock in practice; at
+     * smaller machines it is permitted for controlled experiments but
+     * is a known hazard.
+     */
+    /// @{
     Tick retryBase = 64;
     Tick retryJitter = 64;
+    /** Exponential-backoff cap: 0 (default) keeps the paper's flat
+     *  randomized backoff; fault-stress configs raise it so repeated
+     *  retries spread out (capped at `retryBase << retryExpCap`). */
+    std::uint32_t retryExpCap = 0;
     std::uint32_t maxRetries = 100000; ///< forward-progress guard
+    /// @}
+
+    /** Deterministic fault injection (off by default; see
+     *  src/net/faults.hh and `pcsim faults`). */
+    FaultConfig faults;
 
     // MSHRs (Table 1: max 16 outstanding L2 misses).
     std::size_t mshrs = 16;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/net/faults.hh"
+#include "src/protocol/backoff.hh"
 #include "src/protocol/hub.hh"
 #include "src/sim/logging.hh"
 #include "src/verify/observer.hh"
@@ -45,8 +47,13 @@ DirController::access(Addr line, Tick &ready)
 {
     const Tick now = _hub.curTick();
     ready = now + _cfg.hubLatency;
+    // Fault injection: a directory-cache pressure window caps the
+    // associativity misses may allocate into (hits are unaffected).
+    unsigned ways_limit = 0;
+    if (const FaultPlan *fp = _hub.network().faultPlan())
+        ways_limit = fp->dirWaysLimit(_hub.id(), now);
     bool was_miss = false;
-    DirCacheEntry *e = _dirCache.access(line, was_miss);
+    DirCacheEntry *e = _dirCache.access(line, was_miss, ways_limit);
     if (was_miss) {
         ++_hub.stats().dirCacheMisses;
         ++_dirCache.misses;
@@ -66,10 +73,37 @@ DirController::withMemData(Tick ready)
     return std::max(ready, _dram.access(_hub.curTick()));
 }
 
+Tick
+DirController::rehandleBackoff(const Message &msg, const char *what)
+{
+    const std::uint32_t attempt = _rehandleRetries[msg.addr]++;
+    NodeStats &st = _hub.stats();
+    ++st.retries;
+    ++st.dirRehandleRetries;
+    if (attempt + 1ull > st.maxRetriesPerLine)
+        st.maxRetriesPerLine = attempt + 1;
+    if (attempt >= _cfg.maxRetries)
+        panic("node %u: %s re-handle for 0x%llx exceeded %u retries "
+              "(directory-cache set wedged?)\n%s",
+              _hub.id(), what, (unsigned long long)msg.addr,
+              _cfg.maxRetries, _hub.lineTrace(msg.addr).c_str());
+    std::size_t exp = 0;
+    const Tick backoff = retryBackoff(_cfg, attempt, _rng, &exp);
+    st.backoffHist.sample(exp);
+    return backoff;
+}
+
+void
+DirController::rehandleDone(Addr line)
+{
+    if (!_rehandleRetries.empty())
+        _rehandleRetries.erase(line);
+}
+
 void
 DirController::sendNack(const Message &msg, Tick ready)
 {
-    ++_hub.stats().nacksSent;
+    _hub.noteNackSent();
     Message nack;
     nack.type = MsgType::Nack;
     nack.addr = msg.addr;
@@ -354,13 +388,15 @@ DirController::handleWriteback(const Message &msg)
     DirCacheEntry *e = access(msg.addr, ready);
     if (!e) {
         // Cannot NACK a writeback (it carries the only copy); retry
-        // the handling locally until a directory-cache way frees up.
+        // the handling locally, with the shared bounded backoff, until
+        // a directory-cache way frees up.
         Message again = msg;
-        _hub.eventQueue().scheduleIn(_cfg.retryBase, [this, again]() {
-            handleWriteback(again);
-        });
+        _hub.eventQueue().scheduleIn(
+            rehandleBackoff(msg, "WritebackM"),
+            [this, again]() { handleWriteback(again); });
         return;
     }
+    rehandleDone(msg.addr);
     DirEntry &d = e->dir;
     const NodeId src = msg.requester;
 
@@ -494,7 +530,7 @@ DirController::handleIntervNack(const Message &msg)
     nack.addr = msg.addr;
     nack.dst = d.pendingReq;
     nack.txnId = d.pendingTxnId;
-    ++_hub.stats().nacksSent;
+    _hub.noteNackSent();
 
     d.state = DirState::Excl;
     d.owner = d.pendingOwner;
@@ -513,12 +549,15 @@ DirController::handleUndele(const Message &msg)
     Tick ready;
     DirCacheEntry *e = access(msg.addr, ready);
     if (!e) {
+        // Like a writeback, an UNDELE carries protocol state that
+        // cannot be dropped or NACKed: bounded local re-handle.
         Message again = msg;
-        _hub.eventQueue().scheduleIn(_cfg.retryBase, [this, again]() {
-            handleUndele(again);
-        });
+        _hub.eventQueue().scheduleIn(
+            rehandleBackoff(msg, "Undele"),
+            [this, again]() { handleUndele(again); });
         return;
     }
+    rehandleDone(msg.addr);
     DirEntry &d = e->dir;
     if (d.state != DirState::Dele)
         panic("Undele in dir state %s", dirStateName(d.state));

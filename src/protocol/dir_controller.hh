@@ -22,6 +22,8 @@
 #ifndef PCSIM_PROTOCOL_DIR_CONTROLLER_HH
 #define PCSIM_PROTOCOL_DIR_CONTROLLER_HH
 
+#include <unordered_map>
+
 #include "src/mem/directory.hh"
 #include "src/mem/dram.hh"
 #include "src/net/message.hh"
@@ -75,12 +77,33 @@ class DirController
     /** Charge a DRAM data access and combine with @p ready. */
     Tick withMemData(Tick ready);
 
+    /** @name Bounded local re-handle retries.
+     *
+     * Writebacks and undelegations cannot be NACKed (they carry the
+     * only copy of the line), so a wedged directory-cache set forces a
+     * local re-handle. These helpers give that loop the shared
+     * jittered backoff, count it in NodeStats, and enforce the
+     * maxRetries livelock guard that the remote retry paths already
+     * have.
+     */
+    /// @{
+    /** Account one re-handle attempt for @p msg and return the delay
+     *  before it; panics (with the line's message trace) past
+     *  maxRetries. @p what names the message type for the report. */
+    Tick rehandleBackoff(const Message &msg, const char *what);
+    /** Forget the attempt counter once the re-handle succeeds. */
+    void rehandleDone(Addr line);
+    /// @}
+
     Hub &_hub;
     const ProtocolConfig &_cfg;
     DirectoryStore _store;
     DirectoryCache _dirCache;
     DramModel _dram;
     Rng _rng;
+
+    /** Outstanding re-handle attempts per line (normally empty). */
+    std::unordered_map<Addr, std::uint32_t> _rehandleRetries;
 };
 
 } // namespace pcsim

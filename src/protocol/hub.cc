@@ -68,6 +68,12 @@ Hub::sendAt(Tick when, const Message &msg)
     _eq.schedule(when, [this, pm]() { _net.sendAcquired(pm); });
 }
 
+std::string
+Hub::lineTrace(Addr line) const
+{
+    return _trace ? _trace->format(line) : std::string();
+}
+
 void
 Hub::handleMessage(const Message &msg)
 {

@@ -111,6 +111,29 @@ class Hub : public SimObject,
         sendAt(curTick() + delta, msg);
     }
 
+    /** NACK-storm telemetry: every NACK sent by this node's home-side
+     *  engines funnels through here so NodeStats::nackStormPeak tracks
+     *  the worst burst within any fixed window. */
+    static constexpr Tick nackStormWindow = 8192;
+    void
+    noteNackSent()
+    {
+        ++_stats.nacksSent;
+        const Tick window = curTick() / nackStormWindow;
+        if (window != _nackWindow) {
+            _nackWindow = window;
+            _nackWindowCount = 0;
+        }
+        ++_nackWindowCount;
+        if (_nackWindowCount > _stats.nackStormPeak)
+            _stats.nackStormPeak = _nackWindowCount;
+    }
+
+    /** Message history for @p line, or "" when tracing is off. Used by
+     *  retry-exhaustion panics so the report carries the line's recent
+     *  protocol activity. */
+    std::string lineTrace(Addr line) const;
+
     /** Per-run conformance observer (null = hook disabled) and
      *  message trace (null = no history kept). Owned by the System. */
     void
@@ -148,6 +171,9 @@ class Hub : public SimObject,
 
     verify::TransitionObserver *_observer = nullptr;
     verify::MessageTrace *_trace = nullptr;
+
+    Tick _nackWindow = maxTick;
+    std::uint64_t _nackWindowCount = 0;
 
     Histogram *_consumerHist = nullptr;
     Addr _histExcludeBase = 0;

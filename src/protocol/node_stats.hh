@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "src/sim/stats.hh"
+
 namespace pcsim
 {
 
@@ -33,6 +35,32 @@ struct NodeStats
     // Retry behaviour.
     std::uint64_t nacksReceived = 0;
     std::uint64_t retries = 0;
+
+    /** @name Retry-storm telemetry.
+     *
+     * Finer-grained robustness counters introduced with the
+     * fault-injection layer. Deliberately NOT in the serialized
+     * per-node results schema (PCSIM_NODE_STATS_FIELDS): they are
+     * aggregated into an optional "retry" block in the results JSON
+     * only when faults are active, keeping fault-free output
+     * byte-identical to the goldens.
+     */
+    /// @{
+    /** Retries caused by MSHR-conflict rescheduling (a subset of
+     *  `retries`). */
+    std::uint64_t mshrConflictRetries = 0;
+    /** Directory-side writeback/undelegation re-handle retries under
+     *  directory-cache pressure (a subset of `retries`). */
+    std::uint64_t dirRehandleRetries = 0;
+    /** Worst retry count any single line reached (merged by max). */
+    std::uint64_t maxRetriesPerLine = 0;
+    /** Peak NACKs sent within one Hub::nackStormWindow-tick window
+     *  (merged by max). */
+    std::uint64_t nackStormPeak = 0;
+    /** Capped backoff exponent per retry (bucket k = attempts that
+     *  waited retryBase << k, see src/protocol/backoff.hh). */
+    Histogram backoffHist{16};
+    /// @}
 
     // Home-side activity.
     std::uint64_t homeRequests = 0;
@@ -91,6 +119,11 @@ struct NodeStats
         threeHopMisses += o.threeHopMisses;
         nacksReceived += o.nacksReceived;
         retries += o.retries;
+        mshrConflictRetries += o.mshrConflictRetries;
+        dirRehandleRetries += o.dirRehandleRetries;
+        maxRetriesPerLine = std::max(maxRetriesPerLine, o.maxRetriesPerLine);
+        nackStormPeak = std::max(nackStormPeak, o.nackStormPeak);
+        backoffHist.merge(o.backoffHist);
         homeRequests += o.homeRequests;
         nacksSent += o.nacksSent;
         interventionsSent += o.interventionsSent;

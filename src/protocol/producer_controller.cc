@@ -171,7 +171,7 @@ ProducerController::handleRequest(const Message &msg)
     if (!local && _hub.cacheCtrl().hasMshr(line)) {
         // Our own transaction on this line is mid-flight; anything
         // remote must wait (NACK + retry) until it settles.
-        ++_hub.stats().nacksSent;
+        _hub.noteNackSent();
         Message nack;
         nack.type = MsgType::Nack;
         nack.addr = line;
@@ -283,7 +283,7 @@ ProducerController::serveRemoteRead(const Message &msg, ProducerEntry &e)
             // falls through to an on-demand downgrade instead of
             // stalling for the whole interval.
             ++e.pendingNacks;
-            ++_hub.stats().nacksSent;
+            _hub.noteNackSent();
             Message nack;
             nack.type = MsgType::Nack;
             nack.addr = line;

@@ -112,6 +112,30 @@ toJson(const RunResult &r, bool with_timing)
         conf["observed"] = std::move(observed);
         v["conformance"] = std::move(conf);
     }
+
+    // Retry-storm telemetry exists only for fault-injected runs;
+    // fault-free documents stay byte-identical to the goldens.
+    if (r.faultsActive) {
+        JsonValue retry = JsonValue::object();
+        retry["mshrConflictRetries"] =
+            JsonValue(r.nodes.mshrConflictRetries);
+        retry["dirRehandleRetries"] =
+            JsonValue(r.nodes.dirRehandleRetries);
+        retry["maxRetriesPerLine"] = JsonValue(r.nodes.maxRetriesPerLine);
+        retry["nackStormPeak"] = JsonValue(r.nodes.nackStormPeak);
+        JsonValue bh = JsonValue::object();
+        bh["total"] = JsonValue(r.nodes.backoffHist.total());
+        JsonValue bb = JsonValue::array();
+        for (std::size_t i = 0; i < r.nodes.backoffHist.numBuckets();
+             ++i)
+            bb.push(JsonValue(r.nodes.backoffHist.bucket(i)));
+        bh["buckets"] = std::move(bb);
+        retry["backoffHist"] = std::move(bh);
+        retry["faultDelayedMessages"] =
+            JsonValue(r.faultDelayedMessages);
+        retry["faultExtraTicks"] = JsonValue(r.faultExtraTicks);
+        v["retry"] = std::move(retry);
+    }
     return v;
 }
 
@@ -164,6 +188,27 @@ runResultFromJson(const JsonValue &v)
             t.count = e.at("count").asUInt();
             r.conformance.push_back(t);
         }
+    }
+
+    // Optional: only fault-injected runs emit it.
+    if (const JsonValue *retry = v.find("retry")) {
+        r.faultsActive = true;
+        r.nodes.mshrConflictRetries =
+            retry->at("mshrConflictRetries").asUInt();
+        r.nodes.dirRehandleRetries =
+            retry->at("dirRehandleRetries").asUInt();
+        r.nodes.maxRetriesPerLine =
+            retry->at("maxRetriesPerLine").asUInt();
+        r.nodes.nackStormPeak = retry->at("nackStormPeak").asUInt();
+        const JsonValue &bb = retry->at("backoffHist").at("buckets");
+        std::vector<std::uint64_t> bcounts;
+        bcounts.reserve(bb.size());
+        for (std::size_t i = 0; i < bb.size(); ++i)
+            bcounts.push_back(bb.at(i).asUInt());
+        r.nodes.backoffHist.assign(std::move(bcounts));
+        r.faultDelayedMessages =
+            retry->at("faultDelayedMessages").asUInt();
+        r.faultExtraTicks = retry->at("faultExtraTicks").asUInt();
     }
     return r;
 }

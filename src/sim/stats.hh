@@ -99,6 +99,18 @@ class Histogram
         _total = 0;
     }
 
+    /** Bucket-wise accumulate @p o into this histogram, widening to
+     *  the larger bucket count if they differ. */
+    void
+    merge(const Histogram &o)
+    {
+        if (o._buckets.size() > _buckets.size())
+            _buckets.resize(o._buckets.size(), 0);
+        for (std::size_t i = 0; i < o._buckets.size(); ++i)
+            _buckets[i] += o._buckets[i];
+        _total += o._total;
+    }
+
     /** Replace the bucket contents wholesale (deserialization); the
      *  total is recomputed as every sample lands in exactly one
      *  bucket. */

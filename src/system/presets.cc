@@ -85,5 +85,41 @@ coarse(const MachineConfig &m, unsigned nodes_per_bit)
     return out;
 }
 
+std::vector<NamedFaultScenario>
+faultScenarios()
+{
+    FaultConfig gray;
+    gray.enabled = true;
+    gray.grayLinkFraction = 0.25;
+    gray.grayExtraLatency = 400;
+
+    FaultConfig stalls;
+    stalls.enabled = true;
+    stalls.stallNodeFraction = 0.25;
+
+    FaultConfig hotspot;
+    hotspot.enabled = true;
+    hotspot.hotspotExtraLatency = 300;
+
+    FaultConfig pressure;
+    pressure.enabled = true;
+    pressure.dirPressureWays = 1;
+
+    // The acceptance scenario: gray links + NI stalls + directory
+    // pressure at once.
+    FaultConfig storm;
+    storm.enabled = true;
+    storm.grayLinkFraction = 0.25;
+    storm.grayExtraLatency = 400;
+    storm.stallNodeFraction = 0.25;
+    storm.dirPressureWays = 1;
+
+    return {
+        {"gray-links", gray},   {"ni-stalls", stalls},
+        {"hotspot", hotspot},   {"dir-pressure", pressure},
+        {"storm", storm},
+    };
+}
+
 } // namespace presets
 } // namespace pcsim

@@ -79,6 +79,21 @@ std::vector<NamedConfig> scaleConfigs(unsigned num_nodes);
  */
 MachineConfig coarse(const MachineConfig &m, unsigned nodes_per_bit);
 
+/** A named fault-injection scenario (`pcsim faults --scenario`). */
+struct NamedFaultScenario
+{
+    std::string name;
+    FaultConfig faults;
+};
+
+/**
+ * The standard fault scenarios: each single mechanism in isolation
+ * (gray-links, ni-stalls, hotspot, dir-pressure) plus "storm", the
+ * acceptance scenario combining gray links, NI stalls and
+ * directory-cache pressure.
+ */
+std::vector<NamedFaultScenario> faultScenarios();
+
 } // namespace presets
 } // namespace pcsim
 

@@ -36,6 +36,15 @@ System::System(const MachineConfig &cfg)
     _barrier = std::make_unique<BarrierDriver>(
         _eq, hub_ptrs, cfg.barrierBase, cfg.proto.lineBytes,
         cfg.barrierSpinDelay);
+
+    // Fault plan LAST, and only when enabled: fault-free runs draw the
+    // exact same fork sequence as before, keeping their results
+    // byte-identical to the goldens.
+    if (cfg.proto.faults.enabled) {
+        _faultPlan = std::make_unique<FaultPlan>(
+            cfg.proto.faults, cfg.proto.numNodes, root.fork());
+        _net.setFaultPlan(_faultPlan.get());
+    }
 }
 
 System::~System() = default;
@@ -128,6 +137,11 @@ System::run(Workload &workload, Tick max_ticks)
     r.perf.wallSeconds = wall;
     if (_observer)
         r.conformance = _observer->coverage();
+    if (_faultPlan) {
+        r.faultsActive = true;
+        r.faultDelayedMessages = _net.faultDelayedMessages();
+        r.faultExtraTicks = _net.faultExtraTicks();
+    }
     return r;
 }
 

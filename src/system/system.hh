@@ -69,6 +69,15 @@ struct RunResult
      *  conformance checking enabled. */
     std::vector<verify::TransitionCount> conformance;
 
+    /** @name Fault injection (src/net/faults.hh).
+     *  Populated only when the run had faults enabled; gates the
+     *  optional "retry" block in the results JSON. */
+    /// @{
+    bool faultsActive = false;
+    std::uint64_t faultDelayedMessages = 0;
+    std::uint64_t faultExtraTicks = 0;
+    /// @}
+
     std::uint64_t totalMisses() const
     {
         return nodes.localMisses + nodes.remoteMisses;
@@ -118,6 +127,8 @@ class System
     CoherenceChecker _checker;
     MemoryMap _memMap;
     Network _net;
+    /** Deterministic fault schedule; null for fault-free runs. */
+    std::unique_ptr<FaultPlan> _faultPlan;
     std::vector<std::unique_ptr<Hub>> _hubs;
     std::unique_ptr<BarrierDriver> _barrier;
     std::vector<std::unique_ptr<Cpu>> _cpus;
