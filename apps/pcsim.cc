@@ -27,6 +27,8 @@
 #include "src/runner/job.hh"
 #include "src/runner/results.hh"
 #include "src/runner/runner.hh"
+#include "src/runner/serve.hh"
+#include "src/runner/trace_cmd.hh"
 #include "src/verify/lint.hh"
 #include "src/verify/spec.hh"
 
@@ -35,21 +37,55 @@ using namespace pcsim;
 namespace
 {
 
+/** One row of the generated usage table: every subcommand registers
+ *  here, so `pcsim help` can never drift out of sync with dispatch. */
+struct CommandInfo
+{
+    const char *name;
+    const char *synopsis;
+    const char *oneline;
+};
+
+const CommandInfo commandTable[] = {
+    {"run", "--workload <names> [--config <names>] [options]",
+     "cartesian (workload x config x seed) simulation runs"},
+    {"sweep", "(--figure 7|9|10 | --table 2) [options]",
+     "reproduce a paper figure or table"},
+    {"scale", "[--nodes n,m,...] [--workload W] [options]",
+     "node-count scaling sweep (base/delegation/delegate-update)"},
+    {"serve", "[--scenario a,b] [--nodes n,m] [options]",
+     "datacenter serving-workload sweep (KVServe/WorkQueue/RCU/PubSub)"},
+    {"trace record", "[--workload W] [--config C] -o FILE [options]",
+     "capture a run's memory-op stream as a binary PCTR trace"},
+    {"trace replay", "FILE [options]",
+     "re-drive the simulator from a trace; stats match the source run"},
+    {"trace info", "FILE", "print a trace file's header"},
+    {"bench", "[--json PATH] [--baseline PATH] [options]",
+     "simulation-kernel microbenchmarks"},
+    {"faults", "[--scenario a,b] [--workload W] [options]",
+     "fault-injection robustness sweep"},
+    {"lint", "[--no-mc] [--coverage results.json] [options]",
+     "static checks of the protocol transition spec"},
+    {"list", "", "list workloads and configuration presets"},
+    {"help", "", "show this text"},
+};
+
 int
 usage(std::FILE *out)
 {
     std::fprintf(out,
 "pcsim - producer-consumer coherence protocol experiment runner\n"
 "\n"
-"usage:\n"
-"  pcsim run   --workload <names> [--config <names>] [options]\n"
-"  pcsim sweep (--figure 7|9|10 | --table 2) [options]\n"
-"  pcsim scale [--nodes n,m,...] [--workload W] [options]\n"
-"  pcsim bench [--json PATH] [--baseline PATH] [options]\n"
-"  pcsim faults [--scenario a,b] [--workload W] [options]\n"
-"  pcsim lint  [--no-mc] [--coverage results.json] [options]\n"
-"  pcsim list             list workloads and configuration presets\n"
-"  pcsim help             show this text\n"
+"usage: pcsim <command> [options]\n"
+"\n"
+"commands:\n");
+    for (const auto &c : commandTable) {
+        std::fprintf(out, "  %-13s %s\n", c.name, c.oneline);
+        if (c.synopsis[0])
+            std::fprintf(out, "  %-13s   pcsim %s %s\n", "", c.name,
+                         c.synopsis);
+    }
+    std::fprintf(out,
 "\n"
 "run selection:\n"
 "  --workload a,b         workload names, case-insensitive\n"
@@ -57,7 +93,7 @@ usage(std::FILE *out)
 "  --config a,b           machine presets (default: base)\n"
 "  --seeds n,m            seeds, one job per seed (default: 1)\n"
 "  --nodes N              machine size (default: 16); scale takes a\n"
-"                         comma-separated list (default: 16..256)\n"
+"                         comma-separated list (default: 16..1024)\n"
 "  --coarse K             nodes per directory sharer bit (power of\n"
 "                         two; default 1 = exact vector)\n"
 "  --scale F              workload scale factor (default: 1)\n"
@@ -73,7 +109,10 @@ usage(std::FILE *out)
 "                         --conformance\n"
 "\n"
 "scale (node-count scaling sweep of base/delegation/delegate-update):\n"
-"  --nodes n,m            machine sizes (default: 16,32,64,128,256)\n"
+"  --nodes n,m            machine sizes (default: 16,32,64,128,256,\n"
+"                         512,1024; exact sharer vectors throughout,\n"
+"                         use --coarse with 'run' to study coarse\n"
+"                         directories at the top sizes)\n"
 "  --workload W           workload per point (default: Em3D)\n"
 "  --scale F              workload scale per point (default: 0.25)\n"
 "  --repeats N            repeats per point, best wall time\n"
@@ -85,6 +124,22 @@ usage(std::FILE *out)
 "                         ni-stalls, hotspot, dir-pressure, storm\n"
 "  --workload W           workload per point (default: PCmicro)\n"
 "  default --json is BENCH_faults.json\n"
+"\n"
+"serve (serving sweep of base/delegation/delegate-update):\n"
+"  --scenario a,b         scenarios (default: all): KVServe,\n"
+"                         WorkQueue, RCU, PubSub\n"
+"  --nodes n,m            machine sizes (default: 16,64; any value\n"
+"                         up to 4096 validates)\n"
+"  default --json is BENCH_serve.json\n"
+"\n"
+"trace (binary PCTR op traces; see src/trace/format.hh):\n"
+"  -o, --output FILE      (record) trace file to write (required)\n"
+"  --text                 (record) ingest per-core text trace files\n"
+"                         given as positional args ('<label> <hex>'\n"
+"                         lines; 0 = load, 1 = store, 2 = compute\n"
+"                         cycles) instead of simulating\n"
+"  --config C             (replay) override the header's machine\n"
+"                         preset (ingested traces default to base)\n"
 "\n"
 "bench options:\n"
 "  --events N             events per kernel microbenchmark\n"
@@ -131,6 +186,7 @@ struct Options
     std::string command;
     std::vector<std::string> workloads;
     std::vector<std::string> configs{"base"};
+    bool configsSet = false;
     std::vector<std::uint64_t> seeds{1};
     unsigned nodes = 16;
     std::vector<unsigned> nodeList; ///< scale: machine sizes
@@ -158,6 +214,11 @@ struct Options
     unsigned benchRepeats = 3;
     bool repeatsSet = false;
     std::string baselinePath;
+
+    // trace
+    std::string outputPath;                ///< -o / --output
+    bool textMode = false;                 ///< record: --text ingest
+    std::vector<std::string> positional;   ///< trace file operands
 };
 
 /** Fetch the value of --opt VALUE / --opt=VALUE; nullptr on error. */
@@ -174,9 +235,9 @@ argValue(int argc, char **argv, int &i, const char *inline_value)
 }
 
 bool
-parseArgs(int argc, char **argv, Options &opt)
+parseArgs(int argc, char **argv, Options &opt, int first = 2)
 {
-    for (int i = 2; i < argc; ++i) {
+    for (int i = first; i < argc; ++i) {
         std::string arg = argv[i];
         const char *inline_value = nullptr;
         const std::size_t eq = arg.find('=');
@@ -206,6 +267,7 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.configs = splitList(v);
+            opt.configsSet = true;
         } else if (arg == "--seed" || arg == "--seeds") {
             const char *v = value();
             if (!v)
@@ -229,9 +291,11 @@ parseArgs(int argc, char **argv, Options &opt)
                 return false;
             }
             opt.nodes = opt.nodeList.front();
-            if (opt.nodeList.size() > 1 && opt.command != "scale") {
-                std::fprintf(stderr, "pcsim: --nodes takes one value "
-                                     "outside 'pcsim scale'\n");
+            if (opt.nodeList.size() > 1 && opt.command != "scale" &&
+                opt.command != "serve") {
+                std::fprintf(stderr,
+                             "pcsim: --nodes takes one value outside "
+                             "'pcsim scale' and 'pcsim serve'\n");
                 return false;
             }
         } else if (arg == "--coarse") {
@@ -313,6 +377,13 @@ parseArgs(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.baselinePath = v;
+        } else if (arg == "--output" || arg == "-o") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.outputPath = v;
+        } else if (arg == "--text") {
+            opt.textMode = true;
         } else if (arg == "--timing") {
             opt.timing = true;
         } else if (arg == "--checker") {
@@ -332,6 +403,9 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.table = false;
         } else if (arg == "--quiet" || arg == "-q") {
             opt.quiet = true;
+        } else if (arg.size() && arg[0] != '-' &&
+                   opt.command == "trace") {
+            opt.positional.push_back(argv[i]);
         } else {
             std::fprintf(stderr, "pcsim: unknown option '%s'\n",
                          argv[i]);
@@ -721,8 +795,100 @@ main(int argc, char **argv)
 
     Options opt;
     opt.command = cmd;
-    if (!parseArgs(argc, argv, opt))
+    // `pcsim trace <action> ...`: the action is its own operand.
+    std::string traceAction;
+    if (cmd == "trace") {
+        if (argc < 3) {
+            std::fprintf(stderr,
+                         "pcsim trace: pick record, replay or info\n");
+            return 1;
+        }
+        traceAction = argv[2];
+        if (!parseArgs(argc, argv, opt, 3))
+            return 1;
+    } else if (!parseArgs(argc, argv, opt)) {
         return 1;
+    }
+
+    if (cmd == "trace") {
+        if (traceAction == "record") {
+            runner::TraceRecordOptions topt;
+            if (!opt.workloads.empty())
+                topt.workload = opt.workloads.front();
+            topt.config = opt.configs.front();
+            topt.nodes = opt.nodes;
+            topt.scale = opt.scale;
+            topt.seed = opt.seeds.front();
+            topt.outPath = opt.outputPath;
+            topt.jsonPath = opt.jsonPath;
+            topt.quiet = opt.quiet;
+            if (opt.textMode) {
+                if (opt.positional.empty()) {
+                    std::fprintf(stderr,
+                                 "pcsim trace record: --text needs "
+                                 "per-core trace files as operands\n");
+                    return 1;
+                }
+                topt.textPaths = opt.positional;
+            } else if (!opt.positional.empty()) {
+                std::fprintf(stderr,
+                             "pcsim trace record: unexpected operand "
+                             "'%s' (text files need --text)\n",
+                             opt.positional.front().c_str());
+                return 1;
+            }
+            return runner::runTraceRecord(topt);
+        }
+        if (traceAction == "replay") {
+            runner::TraceReplayOptions topt;
+            if (opt.positional.size() != 1) {
+                std::fprintf(stderr, "pcsim trace replay: exactly one "
+                                     "trace file operand required\n");
+                return 1;
+            }
+            topt.tracePath = opt.positional.front();
+            if (opt.configsSet)
+                topt.config = opt.configs.front();
+            topt.threads = opt.threadsSet ? opt.threads : 1;
+            topt.jsonPath = opt.jsonPath;
+            topt.csvPath = opt.csvPath;
+            topt.quiet = opt.quiet;
+            topt.timing = opt.timing;
+            return runner::runTraceReplay(topt);
+        }
+        if (traceAction == "info") {
+            if (opt.positional.size() != 1) {
+                std::fprintf(stderr, "pcsim trace info: exactly one "
+                                     "trace file operand required\n");
+                return 1;
+            }
+            return runner::runTraceInfo(opt.positional.front());
+        }
+        std::fprintf(stderr,
+                     "pcsim trace: unknown action '%s' (pick record, "
+                     "replay or info)\n",
+                     traceAction.c_str());
+        return 1;
+    }
+
+    if (cmd == "serve") {
+        runner::ServeOptions sopt;
+        sopt.scenarios = opt.scenarioList;
+        if (!opt.nodeList.empty())
+            sopt.nodes = opt.nodeList;
+        if (opt.scaleSet)
+            sopt.scale = opt.scale;
+        sopt.seed = opt.seeds.front();
+        sopt.threads = opt.threadsSet ? opt.threads : 0;
+        sopt.jsonPath =
+            opt.jsonPath.empty() ? "BENCH_serve.json" : opt.jsonPath;
+        sopt.csvPath = opt.csvPath;
+        sopt.quiet = opt.quiet;
+        sopt.timing = opt.timing;
+        sopt.deterministicCheck = opt.deterministicCheck;
+        sopt.table = opt.table;
+        return runner::runServeSweep(sopt);
+    }
 
     if (cmd == "run")
         return runCommand(opt);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/workload/micro.hh"
+#include "src/workload/serving.hh"
 #include "src/workload/suite.hh"
 
 namespace pcsim
@@ -59,6 +60,8 @@ workloadNames()
     names.push_back("PCmicro");
     names.push_back("Migratory");
     names.push_back("Random");
+    for (const auto &n : servingNames())
+        names.push_back(n);
     return names;
 }
 
@@ -116,6 +119,26 @@ makeRunnerWorkload(const std::string &name, unsigned num_cpus,
         RandomMicro::Params p;
         p.opsPerCpu = scaled(p.opsPerCpu);
         return std::make_unique<RandomMicro>(num_cpus, p);
+    }
+    if (canonical == "KVServe") {
+        KvServingWorkload::Params p;
+        p.requestsPerNode = scaled(p.requestsPerNode);
+        return std::make_unique<KvServingWorkload>(num_cpus, p);
+    }
+    if (canonical == "WorkQueue") {
+        WorkQueueWorkload::Params p;
+        p.rounds = scaled(p.rounds);
+        return std::make_unique<WorkQueueWorkload>(num_cpus, p);
+    }
+    if (canonical == "RCU") {
+        RcuWorkload::Params p;
+        p.rounds = scaled(p.rounds);
+        return std::make_unique<RcuWorkload>(num_cpus, p);
+    }
+    if (canonical == "PubSub") {
+        PubSubWorkload::Params p;
+        p.rounds = scaled(p.rounds);
+        return std::make_unique<PubSubWorkload>(num_cpus, p);
     }
     return makeWorkload(canonical, num_cpus, scale);
 }

@@ -84,8 +84,9 @@ class JobSet
 
 // --- workload registry -------------------------------------------
 
-/** All runnable workload names: the Table 2 suite plus the directed
- *  micro patterns ("PCmicro", "Migratory", "Random"). */
+/** All runnable workload names: the Table 2 suite, the directed micro
+ *  patterns ("PCmicro", "Migratory", "Random"), and the datacenter
+ *  serving family ("KVServe", "WorkQueue", "RCU", "PubSub"). */
 std::vector<std::string> workloadNames();
 
 /** Case-insensitive canonicalization ("em3d" -> "Em3D", "micro" ->

@@ -63,7 +63,10 @@ struct NamedConfig
 std::vector<NamedConfig> figure7Configs(unsigned num_nodes = 16);
 
 /** Node counts of the scale-out sweep (`pcsim scale`): the paper's
- *  16-node Altix up through a 256-node machine. */
+ *  16-node Altix up through a 1024-node machine. Every point uses
+ *  exact sharer vectors by default; at the top sizes a real machine
+ *  would run coarse vectors (see coarse()) -- the sweep keeps them
+ *  exact so the protocol-behavior curves stay comparable. */
 std::vector<unsigned> scaleNodeCounts();
 
 /**

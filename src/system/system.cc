@@ -26,7 +26,8 @@ System::System(const MachineConfig &cfg)
     for (unsigned n = 0; n < cfg.proto.numNodes; ++n) {
         _hubs.push_back(std::make_unique<Hub>(
             _eq, _net, _memMap, _checker, _cfg.proto,
-            static_cast<NodeId>(n), root.fork()));
+            static_cast<NodeId>(n),
+            forkNodeRng(root, static_cast<NodeId>(n))));
         _hubs.back()->setConsumerHist(
             &_consumerHist, cfg.barrierBase,
             (cfg.proto.numNodes + 1) * cfg.proto.lineBytes);

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Trace recording: capture the memory-op stream of any Workload.
+ *
+ * TraceRecorder accumulates per-node op vectors; RecordingWorkload is
+ * a transparent wrapper that tees every op a Workload hands to the
+ * simulator into a recorder. The wrapper is pure pass-through -- it
+ * never reorders, delays or drops ops -- so a recorded run's
+ * statistics are byte-identical to an unrecorded one, and replaying
+ * the captured trace reproduces them exactly.
+ */
+
+#ifndef PCSIM_TRACE_RECORDER_HH
+#define PCSIM_TRACE_RECORDER_HH
+
+#include "src/trace/format.hh"
+#include "src/workload/workload.hh"
+
+namespace pcsim
+{
+namespace trace
+{
+
+/** Per-node op accumulator fed by RecordingWorkload. */
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(unsigned num_nodes) : _perNode(num_nodes) {}
+
+    void
+    record(unsigned node, const MemOp &op)
+    {
+        _perNode.at(node).push_back(op);
+    }
+
+    /** Drop everything captured so far (a Workload::reset rewinds the
+     *  source streams, so the recording must restart too). */
+    void
+    clear()
+    {
+        for (auto &t : _perNode)
+            t.clear();
+    }
+
+    const std::vector<std::vector<MemOp>> &
+    perNode() const
+    {
+        return _perNode;
+    }
+
+    std::uint64_t
+    opCount() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &t : _perNode)
+            n += t.size();
+        return n;
+    }
+
+    /** Serialize the capture under @p meta (opCount is recomputed). */
+    void
+    writeFile(const std::string &path, const TraceMeta &meta) const
+    {
+        writeTraceFile(path, meta, _perNode);
+    }
+
+  private:
+    std::vector<std::vector<MemOp>> _perNode;
+};
+
+/** Wraps any Workload and tees its op stream into a TraceRecorder. */
+class RecordingWorkload : public Workload
+{
+  public:
+    /** Both references must outlive the wrapper. */
+    RecordingWorkload(Workload &inner, TraceRecorder &recorder)
+        : _inner(inner), _recorder(recorder)
+    {
+    }
+
+    const std::string &name() const override { return _inner.name(); }
+    unsigned numCpus() const override { return _inner.numCpus(); }
+
+    bool
+    next(unsigned cpu, MemOp &op) override
+    {
+        if (!_inner.next(cpu, op))
+            return false;
+        _recorder.record(cpu, op);
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        _inner.reset();
+        _recorder.clear();
+    }
+
+    std::string
+    paperProblemSize() const override
+    {
+        return _inner.paperProblemSize();
+    }
+
+    std::string
+    scaledProblemSize() const override
+    {
+        return _inner.scaledProblemSize();
+    }
+
+  private:
+    Workload &_inner;
+    TraceRecorder &_recorder;
+};
+
+} // namespace trace
+} // namespace pcsim
+
+#endif // PCSIM_TRACE_RECORDER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Trace replay: drive a simulation from a decoded trace instead of a
+ * synthetic generator.
+ *
+ * TraceReplayWorkload is a first-class Workload over per-node cursors
+ * (the TraceWorkload base): the simulator pulls each node's ops in
+ * recorded order, while the cross-node interleaving is decided by the
+ * event queue exactly as it is for generated workloads. Replaying a
+ * trace on the machine configuration it was recorded from therefore
+ * reproduces the source run's statistics byte for byte, at any
+ * runner thread count.
+ */
+
+#ifndef PCSIM_TRACE_REPLAY_HH
+#define PCSIM_TRACE_REPLAY_HH
+
+#include <memory>
+
+#include "src/trace/format.hh"
+#include "src/workload/workload.hh"
+
+namespace pcsim
+{
+namespace trace
+{
+
+/** A workload that replays a decoded trace. */
+class TraceReplayWorkload : public TraceWorkload
+{
+  public:
+    /** Takes ownership of @p data's op streams. The workload reports
+     *  the recorded generator's name so serialized results match the
+     *  source run. */
+    explicit TraceReplayWorkload(TraceData data)
+        : TraceWorkload(data.meta.workload.empty() ? "trace"
+                                                   : data.meta.workload,
+                        data.meta.nodeCount),
+          _meta(std::move(data.meta))
+    {
+        for (unsigned n = 0; n < numCpus(); ++n)
+            cpuTrace(n) = std::move(data.perNode[n]);
+    }
+
+    const TraceMeta &meta() const { return _meta; }
+
+  private:
+    TraceMeta _meta;
+};
+
+/** readTraceFile + wrap. @throws TraceError on unreadable/malformed
+ *  input. */
+inline std::unique_ptr<TraceReplayWorkload>
+loadReplayWorkload(const std::string &path)
+{
+    return std::make_unique<TraceReplayWorkload>(readTraceFile(path));
+}
+
+} // namespace trace
+} // namespace pcsim
+
+#endif // PCSIM_TRACE_REPLAY_HH

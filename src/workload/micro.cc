@@ -94,7 +94,7 @@ RandomMicro::RandomMicro(unsigned num_cpus, Params p)
 
     for (unsigned cpu = 0; cpu < num_cpus; ++cpu) {
         auto &t = cpuTrace(cpu);
-        Rng crng = rng.fork();
+        Rng crng = forkNodeRng(rng, static_cast<NodeId>(cpu));
         for (unsigned i = 0; i < _p.opsPerCpu; ++i) {
             const unsigned l =
                 static_cast<unsigned>(crng.below(_p.lines));

@@ -21,10 +21,30 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/random.hh"
 #include "src/sim/types.hh"
 
 namespace pcsim
 {
+
+/**
+ * Fork the per-node RNG stream for @p node from a generator's (or the
+ * machine's) root stream.
+ *
+ * Callers MUST fork in ascending node order starting at node 0: the
+ * helper consumes exactly one fork() from @p root per call, which is
+ * the sequence every pre-helper component used -- deriving streams any
+ * other way would shift every downstream draw and break golden
+ * byte-identity. The @p node argument documents intent at the call
+ * site (and keeps callers honest about iteration order); it does not
+ * enter the stream derivation.
+ */
+inline Rng
+forkNodeRng(Rng &root, NodeId node)
+{
+    (void)node;
+    return root.fork();
+}
 
 /** One operation in a CPU's stream. */
 struct MemOp
