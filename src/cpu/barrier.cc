@@ -1,5 +1,7 @@
 #include "src/cpu/barrier.hh"
 
+#include <algorithm>
+
 #include "src/protocol/hub.hh"
 #include "src/sim/logging.hh"
 
@@ -73,10 +75,13 @@ BarrierDriver::masterCollect(unsigned next_slave, std::uint64_t gen,
             if (v >= gen) {
                 masterCollect(next_slave + 1, gen, std::move(done));
             } else {
-                _eq.scheduleIn(_spinDelay, [this, next_slave, gen,
-                                            done = std::move(done)]() mutable {
-                    masterCollect(next_slave, gen, std::move(done));
-                });
+                // Respin on the master hub's shard queue (== _eq under
+                // the sequential kernel).
+                _hubs[0]->eventQueue().scheduleIn(
+                    _spinDelay, [this, next_slave, gen,
+                                 done = std::move(done)]() mutable {
+                        masterCollect(next_slave, gen, std::move(done));
+                    });
             }
         });
 }
@@ -91,10 +96,11 @@ BarrierDriver::slaveSpin(unsigned cpu, std::uint64_t gen,
             if (v >= gen) {
                 cpuPassed(cpu, gen, std::move(done));
             } else {
-                _eq.scheduleIn(_spinDelay, [this, cpu, gen,
-                                            done = std::move(done)]() mutable {
-                    slaveSpin(cpu, gen, std::move(done));
-                });
+                _hubs[cpu]->eventQueue().scheduleIn(
+                    _spinDelay, [this, cpu, gen,
+                                 done = std::move(done)]() mutable {
+                        slaveSpin(cpu, gen, std::move(done));
+                    });
             }
         });
 }
@@ -103,14 +109,23 @@ void
 BarrierDriver::cpuPassed(unsigned cpu, std::uint64_t gen,
                          std::function<void()> done)
 {
-    (void)cpu;
     (void)gen;
-    if (++_passedCount == _hubs.size()) {
-        _passedCount = 0;
-        ++_gensDone;
-        if (_onGeneration)
-            _onGeneration(_gensDone);
+    const Tick pass_tick = _hubs[cpu]->eventQueue().curTick();
+    std::uint64_t completed = 0;
+    Tick max_pass = 0;
+    {
+        std::lock_guard<std::mutex> lk(_passMutex);
+        _maxPassTick = std::max(_maxPassTick, pass_tick);
+        if (++_passedCount == _hubs.size()) {
+            _passedCount = 0;
+            ++_gensDone;
+            completed = _gensDone;
+            max_pass = _maxPassTick;
+            _maxPassTick = 0;
+        }
     }
+    if (completed && _onGeneration)
+        _onGeneration(completed, max_pass);
     done();
 }
 

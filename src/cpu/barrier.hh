@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "src/sim/event_queue.hh"
@@ -50,9 +51,17 @@ class BarrierDriver
     /** CPU @p cpu reached a barrier; @p done fires when it may pass. */
     void arrive(unsigned cpu, std::function<void()> done);
 
-    /** Invoked each time every CPU has passed generation @p gen. */
+    /**
+     * Invoked each time every CPU has passed generation @p gen.
+     * @p max_pass_tick is the largest shard-local tick at which any
+     * CPU passed -- a commutative max, so it is the same value no
+     * matter which order the per-shard pass events were observed in
+     * (the System derives the S-invariant stats-reset boundary from
+     * it).
+     */
     void
-    setOnGeneration(std::function<void(std::uint64_t gen)> fn)
+    setOnGeneration(
+        std::function<void(std::uint64_t gen, Tick max_pass_tick)> fn)
     {
         _onGeneration = std::move(fn);
     }
@@ -83,9 +92,13 @@ class BarrierDriver
     Tick _spinDelay;
 
     std::vector<std::uint64_t> _genOfCpu;
+    /** Guards the pass bookkeeping below: under the parallel kernel
+     *  CPUs pass on their shard's worker thread. */
+    std::mutex _passMutex;
     std::uint64_t _gensDone = 0;
     unsigned _passedCount = 0;
-    std::function<void(std::uint64_t)> _onGeneration;
+    Tick _maxPassTick = 0;
+    std::function<void(std::uint64_t, Tick)> _onGeneration;
 };
 
 } // namespace pcsim

@@ -46,15 +46,45 @@ class MemoryMap
     std::uint32_t pageBytes() const { return _pageBytes; }
 
     /**
+     * Declare [base, base + size) line-interleaved: line i of the
+     * region is homed at node i % numNodes, independent of touch
+     * order. The System uses this for the barrier flag region, whose
+     * lines all share one page: per-page first-touch would pile every
+     * CPU's flag onto one home (a synchronization hot spot), and the
+     * winning toucher would depend on event timing. Interleaving is
+     * the content-determined analog of each CPU first-touching its
+     * own flag line -- flag k lands on node k.
+     */
+    void
+    setInterleavedRegion(Addr base, Addr size, std::uint32_t line_bytes)
+    {
+        _ilBase = base;
+        _ilSize = size;
+        _ilLineBytes = line_bytes;
+    }
+
+    /**
      * Home node of @p addr; @p toucher claims unplaced pages under
      * first-touch.
      */
     NodeId
     homeOf(Addr addr, NodeId toucher)
     {
+        if (addr - _ilBase < _ilSize) {
+            return static_cast<NodeId>((addr - _ilBase) / _ilLineBytes %
+                                       _numNodes);
+        }
         const Addr page = addr / _pageBytes;
         if (_policy == Placement::RoundRobin)
             return static_cast<NodeId>(page % _numNodes);
+        if (_frozen) {
+            auto it = _pages.find(page);
+            if (it == _pages.end())
+                panic("homeOf: page of 0x%llx touched after the map "
+                      "was frozen (pre-placement missed it)",
+                      (unsigned long long)addr);
+            return it->second;
+        }
         auto [it, inserted] = _pages.try_emplace(page, toucher);
         (void)inserted;
         return it->second;
@@ -64,6 +94,10 @@ class MemoryMap
     NodeId
     homeOf(Addr addr) const
     {
+        if (addr - _ilBase < _ilSize) {
+            return static_cast<NodeId>((addr - _ilBase) / _ilLineBytes %
+                                       _numNodes);
+        }
         if (_policy == Placement::RoundRobin)
             return static_cast<NodeId>((addr / _pageBytes) % _numNodes);
         auto it = _pages.find(addr / _pageBytes);
@@ -82,10 +116,26 @@ class MemoryMap
 
     std::size_t numPlacedPages() const { return _pages.size(); }
 
+    /**
+     * Forbid further first-touch inserts. The System freezes the map
+     * after deterministic trace-based pre-placement so concurrent
+     * shard workers only ever *read* it; a touch of an unplaced page
+     * afterwards is a pre-placement bug and panics.
+     */
+    void freeze() { _frozen = true; }
+    bool frozen() const { return _frozen; }
+
   private:
     unsigned _numNodes;
     std::uint32_t _pageBytes;
     Placement _policy;
+    /** Line-interleaved region (size 0 = none); the subtraction in
+     *  homeOf wraps for addr < base, making the range check one
+     *  compare. */
+    Addr _ilBase = 0;
+    Addr _ilSize = 0;
+    std::uint32_t _ilLineBytes = 1;
+    bool _frozen = false;
     std::unordered_map<Addr, NodeId> _pages;
 };
 

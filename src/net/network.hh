@@ -13,12 +13,28 @@
  * processor-side controller talking to the local directory): they are
  * delivered after a small local latency and are NOT counted as network
  * traffic.
+ *
+ * Timing model (identical under the sequential and parallel kernels):
+ * injection is booked at the source NI when the message is sent, on
+ * the sender's shard thread; the in-flight message then rides a
+ * per-destination-node arrival heap ordered by (arrive, src, seq),
+ * and ejection is booked when the destination's phase-0 "drain" event
+ * runs at the arrival tick. Ejection booking therefore depends only
+ * on the *content-ordered* arrival sequence at that node -- never on
+ * the global order sends happened to execute in -- which is what
+ * makes the parallel kernel byte-identical to the sequential oracle.
+ * Cross-shard sends park in per-(src-shard, dst-shard) channels that
+ * the destination worker flushes into its heaps at window barriers.
  */
 
 #ifndef PCSIM_NET_NETWORK_HH
 #define PCSIM_NET_NETWORK_HH
 
 #include <cstdint>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/net/message.hh"
@@ -32,6 +48,7 @@ namespace pcsim
 {
 
 class FaultPlan;
+class SimKernel;
 
 /** Configuration for the interconnect. */
 struct NetworkConfig
@@ -53,6 +70,16 @@ class Network : public SimObject
   public:
     Network(EventQueue &eq, unsigned num_nodes, NetworkConfig cfg = {});
 
+    /**
+     * Route deliveries through a sharded kernel: per-node scheduling
+     * moves to each node's shard queue, message storage and traffic
+     * counters split into per-shard banks, and cross-shard sends are
+     * exchanged at the kernel's window barriers. Without this call
+     * the network behaves exactly as before on the single queue
+     * passed to the constructor (tests drive it that way).
+     */
+    void attachKernel(SimKernel &kernel);
+
     /** Attach the hub that receives messages for @p node. */
     void registerHandler(NodeId node, MessageHandler *handler);
 
@@ -64,22 +91,31 @@ class Network : public SimObject
      * Senders that build a message for immediate or deferred injection
      * can acquire pooled storage, fill it in place, and hand it back
      * via sendAcquired(). The delivery closure then captures only a
-     * pointer (24 bytes instead of a 64-byte Message copy) and the
-     * storage is recycled after the handler runs.
+     * pointer (24 bytes instead of a by-value Message copy) and the
+     * storage is recycled after the handler runs. Pools are per
+     * shard: acquire takes from the calling shard's pool and release
+     * returns to the calling shard's pool (slabs live until the
+     * network dies, so cross-shard frees are safe).
      */
     /// @{
-    Message *acquireMessage() { return _msgPool.acquire(); }
-    void releaseMessage(Message *pm) { _msgPool.release(pm); }
+    Message *acquireMessage()
+    {
+        return _pools[callerShard()]->acquire();
+    }
+    void releaseMessage(Message *pm)
+    {
+        _pools[callerShard()]->release(pm);
+    }
     /** Inject a message previously obtained from acquireMessage().
      *  Ownership passes to the network; storage is recycled after
      *  delivery. */
     void sendAcquired(Message *pm);
     /// @}
 
-    const Pool<Message>::Stats &poolStats() const
-    {
-        return _msgPool.stats();
-    }
+    /** Pool recycling counters summed across shards (acquire counts
+     *  are content-determined; reuse counts are shard-layout
+     *  dependent and only serialized under the timing opt-in). */
+    Pool<Message>::Stats poolStats() const;
 
     const FatTreeTopology &topology() const { return _topo; }
     const NetworkConfig &config() const { return _cfg; }
@@ -93,51 +129,140 @@ class Network : public SimObject
      * are preserved. Null (the default) is the fault-free fast path.
      */
     /// @{
-    void setFaultPlan(const FaultPlan *plan) { _faults = plan; }
+    void setFaultPlan(const FaultPlan *plan);
     const FaultPlan *faultPlan() const { return _faults; }
     /** Remote messages that picked up any fault-induced delay. */
-    std::uint64_t faultDelayedMessages() const { return _faultDelayed; }
+    std::uint64_t faultDelayedMessages() const;
     /** Total fault-induced delay ticks across those messages. */
-    std::uint64_t faultExtraTicks() const { return _faultExtraTicks; }
+    std::uint64_t faultExtraTicks() const;
     /// @}
 
-    /** @name Traffic statistics (remote messages only). */
+    /** @name Traffic statistics (remote messages only).
+     *
+     * Counters accumulate into per-shard banks (send-side counters in
+     * the sender's bank, ejection-side in the receiver's) and are
+     * summed on read, so totals are independent of the shard layout.
+     */
     /// @{
-    std::uint64_t numMessages() const { return _numMessages; }
-    std::uint64_t numBytes() const { return _numBytes; }
-    std::uint64_t numLocalMessages() const { return _numLocal; }
-    std::uint64_t numByType(MsgType t) const
-    {
-        return _perType[static_cast<std::size_t>(t)];
-    }
-    const Histogram &hopHistogram() const { return _hopHist; }
+    std::uint64_t numMessages() const;
+    std::uint64_t numBytes() const;
+    std::uint64_t numLocalMessages() const;
+    std::uint64_t numByType(MsgType t) const;
+    Histogram hopHistogram() const;
+    /** Remote messages that crossed a shard boundary (0 under the
+     *  sequential kernel; host-telemetry, timing-gated). */
+    std::uint64_t crossShardMessages() const;
     /// @}
 
     void resetStats();
 
+    /** Drain every (src shard -> @p dst_shard) channel into the
+     *  destination nodes' arrival heaps; runs on @p dst_shard's
+     *  worker at a window barrier (the kernel's flush hook). */
+    void flushShard(unsigned dst_shard);
+
   private:
+    /** One remote message in flight between injection and ejection. */
+    struct RouteEntry
+    {
+        Tick arrive;
+        Tick occupancy;
+        /** Source-side fault delay (stall + gray-link), carried so
+         *  the whole message counts once, at ejection. */
+        Tick faultDelay;
+        /** Per-source sequence; with the source id it breaks
+         *  same-tick arrival ties deterministically. */
+        std::uint64_t seq;
+        NodeId src;
+        Message *pm;
+    };
+
+    /** Min-heap order on (arrive, src, seq). */
+    struct RouteLater
+    {
+        bool
+        operator()(const RouteEntry &a, const RouteEntry &b) const
+        {
+            if (a.arrive != b.arrive)
+                return a.arrive > b.arrive;
+            if (a.src != b.src)
+                return a.src > b.src;
+            return a.seq > b.seq;
+        }
+    };
+
+    using ArrivalHeap =
+        std::priority_queue<RouteEntry, std::vector<RouteEntry>,
+                            RouteLater>;
+
+    /** Per-shard statistics bank. */
+    struct Bank
+    {
+        std::uint64_t numMessages = 0;
+        std::uint64_t numBytes = 0;
+        std::uint64_t numLocal = 0;
+        std::uint64_t faultDelayed = 0;
+        std::uint64_t faultExtraTicks = 0;
+        std::uint64_t crossShard = 0;
+        std::vector<std::uint64_t> perType;
+        Histogram hopHist;
+
+        Bank()
+            : perType(static_cast<std::size_t>(MsgType::NumMsgTypes),
+                      0),
+              hopHist(8)
+        {
+        }
+        void reset();
+    };
+
+    unsigned callerShard() const;
+    EventQueue &queueOf(NodeId node) { return *_nodeQueue[node]; }
+    void insertArrival(const RouteEntry &e);
+    void drainArrivals(NodeId dst);
+
     NetworkConfig _cfg;
     FatTreeTopology _topo;
     std::vector<MessageHandler *> _handlers;
 
+    /** Per-node shard queue (all point at the constructor queue until
+     *  a kernel is attached). */
+    std::vector<EventQueue *> _nodeQueue;
+    std::vector<unsigned> _shardOf;
+    unsigned _numShards = 1;
+
     /** Per-node NI next-free times (egress = injection, ingress =
-     *  ejection). */
+     *  ejection); each entry is only touched by its node's shard. */
     std::vector<Tick> _egressFree;
     std::vector<Tick> _ingressFree;
 
-    std::uint64_t _nextMsgId = 1;
-    std::uint64_t _numMessages = 0;
-    std::uint64_t _numBytes = 0;
-    std::uint64_t _numLocal = 0;
-    std::vector<std::uint64_t> _perType;
-    Histogram _hopHist;
+    /** Per-source message sequence numbers (ids are (src, seq) so
+     *  numbering never depends on the global send interleaving). */
+    std::vector<std::uint64_t> _srcSeq;
+
+    /** Per-destination-node in-flight arrivals and the set of ticks
+     *  with an armed phase-0 drain event. */
+    std::vector<ArrivalHeap> _arrivals;
+    std::vector<std::unordered_set<Tick>> _drainArmed;
+
+    /** Cross-shard channels, indexed src_shard * S + dst_shard; the
+     *  source worker appends during a window, the destination worker
+     *  drains at the next barrier (never concurrently). */
+    std::vector<std::vector<RouteEntry>> _channels;
+
+    /** Per-(src,dst) last arrival tick, maintained only when the
+     *  fault plan can inject extra link latency (the one mechanism
+     *  that can reorder arrivals); clamps arrivals monotone so
+     *  point-to-point FIFO survives faults. */
+    std::vector<std::unordered_map<NodeId, Tick>> _lastArrive;
+    bool _fifoClamp = false;
+
+    std::vector<Bank> _banks;
 
     const FaultPlan *_faults = nullptr;
-    std::uint64_t _faultDelayed = 0;
-    std::uint64_t _faultExtraTicks = 0;
 
-    /** Recycled storage for in-flight messages. */
-    Pool<Message> _msgPool;
+    /** Recycled storage for in-flight messages, one pool per shard. */
+    std::vector<std::unique_ptr<Pool<Message>>> _pools;
 };
 
 } // namespace pcsim

@@ -43,8 +43,28 @@ namespace runner
     X(extraWriteMisses)                                                   \
     X(writebacks)
 
-/** Deterministic RunPerf counters (the timing trio is handled apart
- *  because it is host-dependent and gated by with_timing). */
+/** RunPerf counters that are pure functions of the simulated content:
+ *  byte-identical across hosts, thread counts and kernel shard
+ *  counts. Only these go into default (determinism-checked) JSON. */
+#define PCSIM_RUN_PERF_DET_FIELDS(X)                                      \
+    X(eventsExecuted)                                                     \
+    X(eventsScheduled)                                                    \
+    X(inlineCallbacks)                                                    \
+    X(heapCallbacks)                                                      \
+    X(poolAcquires)                                                       \
+    X(simTicks)
+
+/** RunPerf counters whose values depend on how the run was sharded
+ *  (queue shapes, pool recycling); serialized only with_timing, like
+ *  the wall-clock rates (schemaVersion 3 moved them there). */
+#define PCSIM_RUN_PERF_SHARDED_FIELDS(X)                                  \
+    X(peakQueueDepth)                                                     \
+    X(overflowEvents)                                                     \
+    X(windowAdvances)                                                     \
+    X(poolReuses)
+
+/** All scalar counters in the historic (schemaVersion 2) order; the
+ *  CSV keeps this column layout. */
 #define PCSIM_RUN_PERF_FIELDS(X)                                          \
     X(eventsExecuted)                                                     \
     X(eventsScheduled)                                                    \
@@ -85,9 +105,21 @@ toJson(const RunResult &r, bool with_timing)
 
     JsonValue perf = JsonValue::object();
 #define X(field) perf[#field] = JsonValue(r.perf.field);
-    PCSIM_RUN_PERF_FIELDS(X)
+    PCSIM_RUN_PERF_DET_FIELDS(X)
 #undef X
     if (with_timing) {
+#define X(field) perf[#field] = JsonValue(r.perf.field);
+        PCSIM_RUN_PERF_SHARDED_FIELDS(X)
+#undef X
+        perf["shards"] = JsonValue(std::uint64_t(r.perf.shards));
+        JsonValue se = JsonValue::array();
+        for (std::uint64_t e : r.perf.shardEvents)
+            se.push(JsonValue(e));
+        perf["shardEvents"] = std::move(se);
+        perf["kernelWindows"] = JsonValue(r.perf.kernelWindows);
+        perf["kernelBarriers"] = JsonValue(r.perf.kernelBarriers);
+        perf["crossShardMessages"] =
+            JsonValue(r.perf.crossShardMessages);
         perf["wallSeconds"] = JsonValue(r.perf.wallSeconds);
         perf["eventsPerSec"] = JsonValue(r.perf.eventsPerSec());
         perf["ticksPerSec"] = JsonValue(r.perf.ticksPerSec());
@@ -173,6 +205,18 @@ runResultFromJson(const JsonValue &v)
 #undef X
         if (const JsonValue *w = perf->find("wallSeconds"))
             r.perf.wallSeconds = w->asDouble();
+        if (const JsonValue *s = perf->find("shards"))
+            r.perf.shards = static_cast<std::uint32_t>(s->asUInt());
+        if (const JsonValue *se = perf->find("shardEvents")) {
+            for (std::size_t i = 0; i < se->size(); ++i)
+                r.perf.shardEvents.push_back(se->at(i).asUInt());
+        }
+        if (const JsonValue *f = perf->find("kernelWindows"))
+            r.perf.kernelWindows = f->asUInt();
+        if (const JsonValue *f = perf->find("kernelBarriers"))
+            r.perf.kernelBarriers = f->asUInt();
+        if (const JsonValue *f = perf->find("crossShardMessages"))
+            r.perf.crossShardMessages = f->asUInt();
     }
 
     // Optional: only runs with conformance checking emit it.
@@ -233,7 +277,7 @@ JsonValue
 resultsToJson(const std::vector<JobResult> &results, bool with_timing)
 {
     JsonValue doc = JsonValue::object();
-    doc["schemaVersion"] = JsonValue(std::uint64_t(2));
+    doc["schemaVersion"] = JsonValue(std::uint64_t(3));
     doc["generator"] = JsonValue("pcsim");
     JsonValue arr = JsonValue::array();
     for (const auto &r : results)

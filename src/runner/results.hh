@@ -4,10 +4,10 @@
  * CSV, plus lookup helpers for table formatters that consume the JSON
  * document instead of scraping stdout.
  *
- * JSON schema (schemaVersion 2):
+ * JSON schema (schemaVersion 3):
  *
  *   {
- *     "schemaVersion": 2,
+ *     "schemaVersion": 3,
  *     "generator": "pcsim",
  *     "results": [
  *       {
@@ -18,27 +18,31 @@
  *         "nackMessages": N, "updateMessages": N,
  *         "nodes": { "reads": N, "writes": N, ... },   // NodeStats
  *         "consumerHist": { "total": N, "buckets": [N, ...] },
- *         "perf": {                      // kernel telemetry (v2)
+ *         "perf": {                      // kernel telemetry
  *           "eventsExecuted": N, "eventsScheduled": N,
- *           "peakQueueDepth": N,
  *           "inlineCallbacks": N, "heapCallbacks": N,
- *           "overflowEvents": N, "windowAdvances": N,
- *           "poolAcquires": N, "poolReuses": N,
- *           "simTicks": N,
+ *           "poolAcquires": N, "simTicks": N,
  *           // only when serialized with_timing (never in
  *           // determinism-checked documents):
+ *           "peakQueueDepth": N, "overflowEvents": N,
+ *           "windowAdvances": N, "poolReuses": N,
+ *           "shards": N, "shardEvents": [N, ...],
+ *           "kernelWindows": N, "kernelBarriers": N,
+ *           "crossShardMessages": N,
  *           "wallSeconds": F, "eventsPerSec": F, "ticksPerSec": F
  *         }
  *       }, ...
  *     ]
  *   }
  *
- * Everything in "perf" except the timing trio is a pure function of
- * the simulated machine + workload; wall-clock rates are host noise.
- * The default (with_timing = false) drops them so the document is
- * byte-identical across thread counts and hosts — the repo-wide
- * guarantee the determinism checks diff. Opting in (pcsim --timing)
- * trades that diffability for throughput visibility.
+ * The default "perf" counters are pure functions of the simulated
+ * machine + workload; wall-clock rates are host noise, and the
+ * queue-shape/shard counters depend on the parallel kernel's shard
+ * layout (schemaVersion 3 moved them behind the opt-in). The default
+ * (with_timing = false) drops all of those so the document is
+ * byte-identical across thread counts, shard counts and hosts — the
+ * repo-wide guarantee the determinism checks diff. Opting in (pcsim
+ * --timing) trades that diffability for throughput visibility.
  */
 
 #ifndef PCSIM_RUNNER_RESULTS_HH

@@ -43,6 +43,7 @@ serveJobs(const ServeOptions &opt)
                 Job j;
                 j.workload = scen;
                 j.cfg = named.cfg;
+                j.cfg.shards = opt.parallelShards;
                 if (!j.cfg.proto.validateError().empty())
                     return {};
                 j.configName = named.name;

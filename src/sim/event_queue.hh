@@ -81,26 +81,21 @@ class EventQueue
     void
     schedule(Tick when, F &&f)
     {
-        if (when < _curTick)
-            panic("scheduling event in the past (%llu < %llu)",
-                  (unsigned long long)when, (unsigned long long)_curTick);
-        EventNode *n = allocNode();
-        emplace(n, std::forward<F>(f));
-        ++_stats.scheduled;
+        scheduleImpl(when, std::forward<F>(f), false);
+    }
 
-        const std::uint64_t w = when >> kLogBuckets;
-        if (w == _curWindow) {
-            appendSlot(static_cast<std::size_t>(when & kSlotMask), n);
-            ++_ringCount;
-        } else {
-            ++_stats.overflowEvents;
-            _overflow.push_back(FarEvent{when, _nextFarSeq++, n});
-            std::push_heap(_overflow.begin(), _overflow.end(),
-                           FarLater{});
-        }
-        const std::uint64_t pending = _ringCount + _overflow.size();
-        if (pending > _stats.peakPending)
-            _stats.peakPending = pending;
+    /**
+     * Schedule @p f at tick @p when, ahead of every normal event at
+     * that tick. Phase-0 events model "the tick begins" work (the
+     * network's arrival drains) whose results must be visible to all
+     * same-tick protocol events regardless of schedule order; within
+     * the phase they keep FIFO schedule order like normal events.
+     */
+    template <typename F>
+    void
+    schedulePhase0(Tick when, F &&f)
+    {
+        scheduleImpl(when, std::forward<F>(f), true);
     }
 
     /** Schedule callable @p f @p delta ticks from now. */
@@ -128,6 +123,14 @@ class EventQueue
 
     /** True while a stop request is pending (not yet consumed). */
     bool stopRequested() const { return _stopRequested; }
+
+    /** Tick of the next pending event without executing it; false
+     *  when the queue is empty. */
+    bool
+    peekNextTick(Tick &when) const
+    {
+        return findNextTick(when);
+    }
 
     /**
      * Drain the queue.
@@ -217,11 +220,15 @@ class EventQueue
     static_assert(sizeof(EventNode) % alignof(std::max_align_t) == 0,
                   "node stride must preserve buffer alignment");
 
-    /** One tick's worth of events, in schedule order. */
+    /** One tick's worth of events: a phase-0 FIFO (drained first)
+     *  and the normal FIFO, each in schedule order. */
     struct Slot
     {
+        EventNode *head0 = nullptr;
+        EventNode *tail0 = nullptr;
         EventNode *head = nullptr;
         EventNode *tail = nullptr;
+        bool empty() const { return !head0 && !head; }
     };
 
     /** An event beyond the near horizon, heap-ordered by (when, seq). */
@@ -230,6 +237,7 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         EventNode *node;
+        bool phase0;
     };
 
     /** Comparator making std::push_heap/pop_heap a min-heap. */
@@ -291,18 +299,48 @@ class EventQueue
         }
     }
 
+    template <typename F>
     void
-    appendSlot(std::size_t slot, EventNode *n)
+    scheduleImpl(Tick when, F &&f, bool phase0)
+    {
+        if (when < _curTick)
+            panic("scheduling event in the past (%llu < %llu)",
+                  (unsigned long long)when, (unsigned long long)_curTick);
+        EventNode *n = allocNode();
+        emplace(n, std::forward<F>(f));
+        ++_stats.scheduled;
+
+        const std::uint64_t w = when >> kLogBuckets;
+        if (w == _curWindow) {
+            appendSlot(static_cast<std::size_t>(when & kSlotMask), n,
+                       phase0);
+            ++_ringCount;
+        } else {
+            ++_stats.overflowEvents;
+            _overflow.push_back(FarEvent{when, _nextFarSeq++, n,
+                                         phase0});
+            std::push_heap(_overflow.begin(), _overflow.end(),
+                           FarLater{});
+        }
+        const std::uint64_t pending = _ringCount + _overflow.size();
+        if (pending > _stats.peakPending)
+            _stats.peakPending = pending;
+    }
+
+    void
+    appendSlot(std::size_t slot, EventNode *n, bool phase0)
     {
         n->next = nullptr;
         Slot &s = _slots[slot];
-        if (s.head) {
-            s.tail->next = n;
-        } else {
-            s.head = n;
+        if (s.empty())
             _occupied[slot >> 6] |= std::uint64_t(1) << (slot & 63);
-        }
-        s.tail = n;
+        EventNode *&head = phase0 ? s.head0 : s.head;
+        EventNode *&tail = phase0 ? s.tail0 : s.tail;
+        if (head)
+            tail->next = n;
+        else
+            head = n;
+        tail = n;
     }
 
     /** First occupied slot >= from, or -1. */
@@ -339,7 +377,7 @@ class EventQueue
      *  always precede overflow events (the overflow holds later
      *  windows only), so the ring is authoritative while non-empty. */
     bool
-    findNextTick(Tick &when)
+    findNextTick(Tick &when) const
     {
         if (_ringCount) {
             const int slot = nextOccupied(scanStart());
@@ -374,7 +412,7 @@ class EventQueue
             const FarEvent fe = _overflow.back();
             _overflow.pop_back();
             appendSlot(static_cast<std::size_t>(fe.when & kSlotMask),
-                       fe.node);
+                       fe.node, fe.phase0);
             ++_ringCount;
         }
     }
@@ -389,14 +427,17 @@ class EventQueue
             static_cast<std::size_t>(when & kSlotMask);
         Slot &s = _slots[slot];
         // Detach before invoking: the callback may append same-tick
-        // events to this very slot.
-        EventNode *n = s.head;
-        s.head = n->next;
-        if (!s.head) {
-            s.tail = nullptr;
+        // events to this very slot. Phase-0 events drain first.
+        const bool phase0 = s.head0 != nullptr;
+        EventNode *&head = phase0 ? s.head0 : s.head;
+        EventNode *&tail = phase0 ? s.tail0 : s.tail;
+        EventNode *n = head;
+        head = n->next;
+        if (!head)
+            tail = nullptr;
+        if (s.empty())
             _occupied[slot >> 6] &=
                 ~(std::uint64_t(1) << (slot & 63));
-        }
         --_ringCount;
         _curTick = when;
         n->invoke(n->buf);
@@ -412,15 +453,16 @@ class EventQueue
     destroyPending()
     {
         for (Slot &s : _slots) {
-            for (EventNode *n = s.head; n;) {
-                EventNode *next = n->next;
-                if (n->dtor)
-                    n->dtor(n->buf);
-                freeNode(n);
-                n = next;
+            for (EventNode *list : {s.head0, s.head}) {
+                for (EventNode *n = list; n;) {
+                    EventNode *next = n->next;
+                    if (n->dtor)
+                        n->dtor(n->buf);
+                    freeNode(n);
+                    n = next;
+                }
             }
-            s.head = nullptr;
-            s.tail = nullptr;
+            s = Slot{};
         }
         std::fill(std::begin(_occupied), std::end(_occupied), 0);
         for (const FarEvent &fe : _overflow) {

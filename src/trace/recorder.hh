@@ -109,6 +109,12 @@ class RecordingWorkload : public Workload
         return _inner.scaledProblemSize();
     }
 
+    const std::vector<MemOp> *
+    cpuOps(unsigned cpu) const override
+    {
+        return _inner.cpuOps(cpu);
+    }
+
   private:
     Workload &_inner;
     TraceRecorder &_recorder;

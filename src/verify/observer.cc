@@ -8,6 +8,13 @@
 namespace pcsim::verify
 {
 
+std::vector<TransitionObserver::Frame> &
+TransitionObserver::stack()
+{
+    static thread_local std::vector<Frame> frames;
+    return frames;
+}
+
 void
 TransitionObserver::begin(Ctrl c, NodeId node, Addr line, StateId pre,
                           PEvent ev)
@@ -20,15 +27,15 @@ TransitionObserver::begin(Ctrl c, NodeId node, Addr line, StateId pre,
                       : "no rule for this (state, event) pair",
                   "");
     }
-    _stack.push_back(f);
+    stack().push_back(f);
 }
 
 void
 TransitionObserver::noteSend(const Message &msg)
 {
-    if (_stack.empty())
+    if (stack().empty())
         return;
-    const Frame &f = _stack.back();
+    const Frame &f = stack().back();
     if (!f.rule->allowsSend(msg.type)) {
         violation(f, "handler sent a message the spec does not allow",
                   std::string("sent ") + msgTypeName(msg.type));
@@ -38,8 +45,8 @@ TransitionObserver::noteSend(const Message &msg)
 void
 TransitionObserver::end(StateId post)
 {
-    const Frame f = _stack.back();
-    _stack.pop_back();
+    const Frame f = stack().back();
+    stack().pop_back();
     if (!f.rule->allowsNext(post)) {
         violation(f, "next state outside the spec's allowed set",
                   "went to " + _spec.stateName(f.ctrl, post));
@@ -49,6 +56,9 @@ TransitionObserver::end(StateId post)
         (static_cast<std::uint32_t>(f.pre) << 16) |
         (static_cast<std::uint32_t>(f.event) << 8) |
         static_cast<std::uint32_t>(post);
+    std::unique_lock<std::mutex> lk(_mutex, std::defer_lock);
+    if (_parallel)
+        lk.lock();
     ++_counts[key];
 }
 

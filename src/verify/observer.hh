@@ -27,6 +27,7 @@
 #define PCSIM_VERIFY_OBSERVER_HH
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -71,6 +72,12 @@ class TransitionObserver
 
     const TransitionSpec &spec() const { return _spec; }
 
+    /** Parallel-kernel mode: guard the coverage counts with a mutex
+     *  (handlers run on shard worker threads). Frames themselves live
+     *  in thread-local storage -- they nest strictly within one event
+     *  execution -- so begin/noteSend stay lock-free. */
+    void setParallel(bool on) { _parallel = on; }
+
   private:
     struct Frame
     {
@@ -82,12 +89,17 @@ class TransitionObserver
         PEvent event;
     };
 
+    /** The calling thread's frame stack (empty between events, so
+     *  sharing one per thread across observers is safe). */
+    static std::vector<Frame> &stack();
+
     [[noreturn]] void violation(const Frame &f, const char *what,
                                 const std::string &detail) const;
 
     const TransitionSpec &_spec;
     const MessageTrace *_trace;
-    std::vector<Frame> _stack;
+    bool _parallel = false;
+    mutable std::mutex _mutex;
     std::unordered_map<std::uint32_t, std::uint64_t> _counts;
 };
 

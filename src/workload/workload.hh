@@ -86,6 +86,20 @@ class Workload
     virtual std::string paperProblemSize() const { return ""; }
     /** Our scaled problem size, for reporting. */
     virtual std::string scaledProblemSize() const { return ""; }
+
+    /**
+     * Full operation stream of @p cpu when the workload is
+     * trace-backed, else null. The System scans these streams before
+     * a run to pre-compute first-touch page placement (round-robin
+     * across CPUs by op index, the schedule-independent equivalent of
+     * touch order), so shard workers never race on the memory map.
+     */
+    virtual const std::vector<MemOp> *
+    cpuOps(unsigned cpu) const
+    {
+        (void)cpu;
+        return nullptr;
+    }
 };
 
 /** Workload backed by pre-generated per-CPU traces. */
@@ -118,6 +132,12 @@ class TraceWorkload : public Workload
     {
         for (auto &p : _pos)
             p = 0;
+    }
+
+    const std::vector<MemOp> *
+    cpuOps(unsigned cpu) const override
+    {
+        return &_trace.at(cpu);
     }
 
     /** Total operations across all CPUs (reporting). */

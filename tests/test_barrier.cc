@@ -43,7 +43,7 @@ TEST(Barrier, GenerationCallbackFires)
     Harness h(presets::base(16));
     std::vector<std::uint64_t> gens;
     h.sys.barrier().setOnGeneration(
-        [&](std::uint64_t g) { gens.push_back(g); });
+        [&](std::uint64_t g, Tick) { gens.push_back(g); });
     runBarrier(h, 16);
     runBarrier(h, 16);
     EXPECT_EQ(gens, (std::vector<std::uint64_t>{1, 2}));

@@ -359,3 +359,74 @@ TEST(EventQueue, RandomizedStressMatchesReferenceModel)
         EXPECT_TRUE(eq.empty());
     }
 }
+
+TEST(EventQueue, Phase0RunsBeforeNormalEventsAtTheSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(10, [&]() { order.push_back(2); });
+    // Scheduled last, still drains first: phase 0 models "the tick
+    // begins" work like the network's arrival drains.
+    eq.schedulePhase0(10, [&]() { order.push_back(0); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, Phase0KeepsFifoOrderWithinThePhase)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedulePhase0(5, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, Phase0InterleavesAcrossTicks)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&]() { order.push_back(11); });
+    eq.schedulePhase0(20, [&]() { order.push_back(20); });
+    eq.schedulePhase0(10, [&]() { order.push_back(10); });
+    eq.schedule(20, [&]() { order.push_back(21); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21}));
+}
+
+TEST(EventQueue, Phase0SchedulesFromEventsAndFarFuture)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    // A normal event books a far-future phase-0 event (overflow path)
+    // plus same-window ones; each drains at the head of its tick.
+    eq.schedule(1, [&]() {
+        eq.schedulePhase0(1000000, [&]() {
+            ticks.push_back(eq.curTick());
+        });
+        eq.schedulePhase0(50, [&]() { ticks.push_back(eq.curTick()); });
+    });
+    eq.schedule(50, [&]() { ticks.push_back(0); });
+    eq.run();
+    ASSERT_EQ(ticks.size(), 3u);
+    EXPECT_EQ(ticks[0], 50u);
+    EXPECT_EQ(ticks[1], 0u);
+    EXPECT_EQ(ticks[2], 1000000u);
+}
+
+TEST(EventQueue, PeekNextTickSeesBothPhases)
+{
+    EventQueue eq;
+    Tick when = 0;
+    EXPECT_FALSE(eq.peekNextTick(when));
+    eq.schedule(30, []() {});
+    ASSERT_TRUE(eq.peekNextTick(when));
+    EXPECT_EQ(when, 30u);
+    eq.schedulePhase0(10, []() {});
+    ASSERT_TRUE(eq.peekNextTick(when));
+    EXPECT_EQ(when, 10u);
+    eq.run();
+    EXPECT_FALSE(eq.peekNextTick(when));
+}
