@@ -15,13 +15,16 @@
  * in as a regression tripwire.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/protocol/policy.hh"
 #include "src/runner/bench.hh"
+#include "src/runner/compare.hh"
 #include "src/runner/faults.hh"
 #include "src/runner/figures.hh"
 #include "src/runner/job.hh"
@@ -55,6 +58,8 @@ const CommandInfo commandTable[] = {
      "node-count scaling sweep (base/delegation/delegate-update)"},
     {"serve", "[--scenario a,b] [--nodes n,m] [options]",
      "datacenter serving-workload sweep (KVServe/WorkQueue/RCU/PubSub)"},
+    {"compare", "[--scenario a,b] [--nodes n,m] [options]",
+     "coherence-policy bake-off across every registered policy"},
     {"trace record", "[--workload W] [--config C] -o FILE [options]",
      "capture a run's memory-op stream as a binary PCTR trace"},
     {"trace replay", "FILE [options]",
@@ -64,8 +69,8 @@ const CommandInfo commandTable[] = {
      "simulation-kernel microbenchmarks"},
     {"faults", "[--scenario a,b] [--workload W] [options]",
      "fault-injection robustness sweep"},
-    {"lint", "[--no-mc] [--coverage results.json] [options]",
-     "static checks of the protocol transition spec"},
+    {"lint", "[--no-mc] [--policy P] [--coverage results.json] [options]",
+     "static checks of the protocol transition specs"},
     {"list", "", "list workloads and configuration presets"},
     {"help", "", "show this text"},
 };
@@ -102,8 +107,13 @@ usage(std::FILE *out)
 "                         (fails the run on out-of-spec transitions\n"
 "                         and records transition coverage)\n"
 "\n"
-"lint (static checks of the declarative protocol transition spec):\n"
+"lint (static checks of the declarative protocol transition specs):\n"
 "  --no-mc                skip the model-checker cross-check\n"
+"  --policy P             spec to lint: one registered policy name\n"
+"                         (mesi-dir, delegation, delegation-updates,\n"
+"                         write-update, adaptive-hybrid) or 'all'\n"
+"                         (default: delegation-updates, the shipped\n"
+"                         full-protocol spec)\n"
 "  --coverage PATH        report never-exercised legal transitions\n"
 "                         from a results JSON written by runs with\n"
 "                         --conformance\n"
@@ -131,6 +141,13 @@ usage(std::FILE *out)
 "  --nodes n,m            machine sizes (default: 16,64; any value\n"
 "                         up to 4096 validates)\n"
 "  default --json is BENCH_serve.json\n"
+"\n"
+"compare (bake-off of every registered coherence policy: mesi-dir,\n"
+"delegation, delegation-updates, write-update, adaptive-hybrid):\n"
+"  --scenario a,b         scenarios (default: PCmicro,PubSub); any\n"
+"                         registry workload is accepted\n"
+"  --nodes n,m            machine sizes (default: 16,64)\n"
+"  default --json is BENCH_compare.json\n"
 "\n"
 "trace (binary PCTR op traces; see src/trace/format.hh):\n"
 "  -o, --output FILE      (record) trace file to write (required)\n"
@@ -203,6 +220,7 @@ struct Options
     bool checker = false;
     bool conformance = false;
     bool lintMc = true;           ///< lint: run the model cross-check
+    std::string lintPolicy;       ///< lint: policy spec name or "all"
     std::string coveragePath;     ///< lint: results doc for coverage
     unsigned threads = 0;
     bool threadsSet = false;
@@ -302,10 +320,11 @@ parseArgs(int argc, char **argv, Options &opt, int first = 2)
             }
             opt.nodes = opt.nodeList.front();
             if (opt.nodeList.size() > 1 && opt.command != "scale" &&
-                opt.command != "serve") {
+                opt.command != "serve" && opt.command != "compare") {
                 std::fprintf(stderr,
                              "pcsim: --nodes takes one value outside "
-                             "'pcsim scale' and 'pcsim serve'\n");
+                             "'pcsim scale', 'pcsim serve' and 'pcsim "
+                             "compare'\n");
                 return false;
             }
         } else if (arg == "--coarse") {
@@ -421,6 +440,11 @@ parseArgs(int argc, char **argv, Options &opt, int first = 2)
             opt.conformance = true;
         } else if (arg == "--no-mc") {
             opt.lintMc = false;
+        } else if (arg == "--policy") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.lintPolicy = v;
         } else if (arg == "--coverage") {
             const char *v = value();
             if (!v)
@@ -464,6 +488,16 @@ listCommand()
                 "large");
     std::printf("  %-12s delegation without speculative updates\n",
                 "delegation");
+    std::printf("  %-12s Dragon-style write-update protocol (alias: "
+                "update)\n",
+                "write-update");
+    std::printf("  %-12s write-update with per-line self-"
+                "invalidation (alias: adaptive)\n",
+                "adaptive-hybrid");
+    std::printf("\ncoherence policies (pcsim compare / lint "
+                "--policy):\n");
+    for (ProtocolKind kind : registeredPolicyKinds())
+        std::printf("  %s\n", policyFor(kind).name());
     return 0;
 }
 
@@ -767,16 +801,15 @@ lintCoverage(const Options &opt)
     return io_ok ? 0 : 1;
 }
 
+/** Lint one policy's spec; prints the findings and the summary line
+ *  (prefixed with the policy name when @p label is set). */
 int
-lintCommand(const Options &opt)
+lintOneSpec(const Options &opt, const verify::TransitionSpec &spec,
+            verify::McCheckSet mc_set, const char *label)
 {
-    if (!opt.coveragePath.empty())
-        return lintCoverage(opt);
-
-    const verify::TransitionSpec &spec = verify::protocolSpec();
-    const verify::LintReport rep = opt.lintMc
-                                       ? verify::lintSpecWithModel(spec)
-                                       : verify::lintSpec(spec);
+    const verify::LintReport rep =
+        opt.lintMc ? verify::lintSpecWithModel(spec, mc_set)
+                   : verify::lintSpec(spec);
 
     bool io_ok = true;
     if (!opt.jsonPath.empty())
@@ -787,6 +820,8 @@ lintCommand(const Options &opt)
                                        verify::lintToCsv(rep));
 
     if (opt.jsonPath != "-" && opt.csvPath != "-") {
+        if (label)
+            std::printf("policy %s:\n", label);
         std::printf("spec: %zu rules, %zu impossible pairs\n",
                     spec.rules().size(), spec.impossible().size());
         if (rep.mcConfigs) {
@@ -813,6 +848,53 @@ lintCommand(const Options &opt)
     if (!io_ok)
         return 1;
     return rep.clean() ? 0 : 2;
+}
+
+int
+lintCommand(const Options &opt)
+{
+    if (!opt.coveragePath.empty())
+        return lintCoverage(opt);
+
+    if (opt.lintPolicy.empty()) {
+        // Historical default: the shipped full-protocol spec, checked
+        // against the MESI-dir + delegation model family (keeps the
+        // committed lint_clean.json byte-identical).
+        return lintOneSpec(opt, verify::protocolSpec(),
+                           verify::McCheckSet::MesiDele, nullptr);
+    }
+
+    if (opt.lintPolicy == "all") {
+        if (!opt.jsonPath.empty() || !opt.csvPath.empty()) {
+            std::fprintf(stderr,
+                         "pcsim lint: --policy=all cannot combine "
+                         "with --json/--csv (lint one policy per "
+                         "document)\n");
+            return 1;
+        }
+        int worst = 0;
+        for (ProtocolKind kind : registeredPolicyKinds()) {
+            const CoherencePolicy &p = policyFor(kind);
+            const int rc = lintOneSpec(opt, p.spec(),
+                                       modelCheckSetFor(kind),
+                                       p.name());
+            worst = std::max(worst, rc);
+        }
+        return worst;
+    }
+
+    ProtocolKind kind;
+    if (!protocolKindFromName(opt.lintPolicy, kind)) {
+        std::fprintf(stderr,
+                     "pcsim lint: unknown policy '%s' (pick one of "
+                     "mesi-dir, delegation, delegation-updates, "
+                     "write-update, adaptive-hybrid, or 'all')\n",
+                     opt.lintPolicy.c_str());
+        return 1;
+    }
+    const CoherencePolicy &p = policyFor(kind);
+    return lintOneSpec(opt, p.spec(), modelCheckSetFor(kind),
+                       p.name());
 }
 
 } // namespace
@@ -924,6 +1006,26 @@ main(int argc, char **argv)
         sopt.table = opt.table;
         sopt.parallelShards = opt.parallelShards;
         return runner::runServeSweep(sopt);
+    }
+
+    if (cmd == "compare") {
+        runner::CompareOptions copt;
+        copt.scenarios = opt.scenarioList;
+        if (!opt.nodeList.empty())
+            copt.nodes = opt.nodeList;
+        if (opt.scaleSet)
+            copt.scale = opt.scale;
+        copt.seed = opt.seeds.front();
+        copt.threads = opt.threadsSet ? opt.threads : 0;
+        copt.jsonPath = opt.jsonPath.empty() ? "BENCH_compare.json"
+                                             : opt.jsonPath;
+        copt.csvPath = opt.csvPath;
+        copt.quiet = opt.quiet;
+        copt.timing = opt.timing;
+        copt.deterministicCheck = opt.deterministicCheck;
+        copt.table = opt.table;
+        copt.parallelShards = opt.parallelShards;
+        return runner::runCompareSweep(copt);
     }
 
     if (cmd == "run")

@@ -445,7 +445,8 @@ ProtocolModel::deliver(State &t, unsigned src, unsigned dst,
     const bool for_home_side =
         m.type == MType::ReqS || m.type == MType::ReqX ||
         m.type == MType::Shwb || m.type == MType::XferAck ||
-        m.type == MType::IntervNack || m.type == MType::Undele;
+        m.type == MType::IntervNack || m.type == MType::Undele ||
+        m.type == MType::UpdateWB || m.type == MType::UpdDrop;
 
     // Which controller handles this delivery: the home directory, a
     // producer table acting as the home, a plain cache, or a
@@ -572,6 +573,7 @@ ProtocolModel::applyAtHome(State t, unsigned src, const MMsg &m,
           }
           case DState::BusyR:
           case DState::BusyE:
+          case DState::BusyUpd:
             if (nack(t, r))
                 out.push_back(std::move(t));
             break;
@@ -591,6 +593,34 @@ ProtocolModel::applyAtHome(State t, unsigned src, const MMsg &m,
       }
 
       case MType::ReqX: {
+        // Write-update: the home opens an update episode instead of
+        // granting ownership -- the directory only ever visits U, S
+        // and BusyUpd under this policy.
+        if (_cfg.writeUpdate) {
+            switch (t.dir) {
+              case DState::U:
+              case DState::S: {
+                t.dir = DState::BusyUpd;
+                t.pendReq = static_cast<std::uint8_t>(r);
+                t.pendSeq = m.seq;
+                MMsg grant;
+                grant.type = MType::UpdGrant;
+                grant.version = t.memV;
+                grant.seq = m.seq;
+                if (send(t, home, r, grant))
+                    out.push_back(std::move(t));
+                break;
+              }
+              case DState::BusyUpd:
+                if (nack(t, r))
+                    out.push_back(std::move(t));
+                break;
+              default:
+                throw McError(
+                    "write-update directory outside U/S/BusyUpd");
+            }
+            break;
+        }
         // Nondeterministic delegation decision (over-approximates the
         // detector): branch both ways when permitted.
         if (_cfg.delegation &&
@@ -671,6 +701,7 @@ ProtocolModel::applyAtHome(State t, unsigned src, const MMsg &m,
           }
           case DState::BusyR:
           case DState::BusyE:
+          case DState::BusyUpd:
             if (nack(t, r))
                 out.push_back(std::move(t));
             break;
@@ -686,6 +717,38 @@ ProtocolModel::applyAtHome(State t, unsigned src, const MMsg &m,
             break;
           }
         }
+        break;
+      }
+
+      case MType::UpdateWB: {
+        if (t.dir != DState::BusyUpd || t.pendReq != m.requester)
+            throw McError("UpdateWB outside an open BusyUpd episode");
+        t.memV = m.version;
+        // Refresh every other sharer in place, then list the writer.
+        const std::uint8_t targets = t.sharers & ~(1u << m.requester);
+        bool ok = true;
+        for (unsigned c = 0; c < _cfg.nodes && ok; ++c) {
+            if (!(targets & (1u << c)))
+                continue;
+            MMsg up;
+            up.type = MType::Update;
+            up.version = t.memV;
+            ok = send(t, home, c, up);
+        }
+        if (!ok)
+            break;
+        t.sharers |= (1u << m.requester);
+        t.dir = DState::S;
+        t.pendReq = none;
+        out.push_back(std::move(t));
+        break;
+      }
+
+      case MType::UpdDrop: {
+        // A consumer left the update stream; pure unsubscription (the
+        // model's sharer vector is exact, so always drop the bit).
+        t.sharers &= ~(1u << m.requester);
+        out.push_back(std::move(t));
         break;
       }
 
@@ -1039,7 +1102,71 @@ ProtocolModel::applyAtNode(State t, unsigned dst,
         break;
       }
 
+      case MType::UpdGrant: {
+        if (t.mshr[n] != 2 || m.seq != t.mshrSeq[n]) {
+            out.push_back(std::move(t)); // stale: drop
+            break;
+        }
+        // Perform the store inline and self-downgrade to SHARED; the
+        // new data returns to the home within the same handler. The
+        // grant carries the committed memory version, which BusyUpd
+        // serialization keeps equal to the oracle's current version.
+        if (m.version != t.curV) {
+            throw McError(
+                "lost update: grant carries stale version " +
+                std::to_string(m.version) + " cur " +
+                std::to_string(t.curV));
+        }
+        ++t.curV;
+        t.cache[n] = CState::S;
+        t.cacheV[n] = t.curV;
+        t.lastSeen[n] = t.curV;
+        t.mshr[n] = 0;
+        t.mshrHaveData[n] = 0;
+        t.mshrAcksNeed[n] = -1;
+        t.mshrAcksGot[n] = 0;
+        MMsg wb;
+        wb.type = MType::UpdateWB;
+        wb.requester = static_cast<std::uint8_t>(n);
+        wb.version = t.curV;
+        if (send(t, n, home, wb))
+            out.push_back(std::move(t));
+        break;
+      }
+
       case MType::Update: {
+        if (_cfg.writeUpdate) {
+            if (t.cache[n] != CState::I) {
+                if (_cfg.adaptive) {
+                    // Nondeterministic self-invalidation: leave the
+                    // update stream (over-approximates the stale-
+                    // update counter reaching its threshold).
+                    State d = t;
+                    d.cache[n] = CState::I;
+                    MMsg drop;
+                    drop.type = MType::UpdDrop;
+                    drop.requester = static_cast<std::uint8_t>(n);
+                    if (send(d, n, home, drop))
+                        out.push_back(std::move(d));
+                }
+                // Refresh the SHARED copy in place.
+                if (m.version > t.cacheV[n])
+                    t.cacheV[n] = m.version;
+                out.push_back(std::move(t));
+                break;
+            }
+            if (t.mshr[n] == 1) {
+                // A push doubles as the read-miss response.
+                t.mshrHaveData[n] = 1;
+                t.mshrV[n] = m.version;
+                maybeComplete(t, n);
+                out.push_back(std::move(t));
+                break;
+            }
+            // Dropped / never-held copy: ignore the push.
+            out.push_back(std::move(t));
+            break;
+        }
         if (m.version <= t.tombV[n]) {
             out.push_back(std::move(t)); // stale push: drop
             break;
@@ -1083,8 +1210,25 @@ ProtocolModel::checkInvariants(const State &s) const
             if (s.racMask)
                 throw McError("M coexists with a RAC copy");
         }
-        if (s.cache[n] == CState::S && s.cacheV[n] != s.curV)
-            throw McError("stale SHARED copy");
+        if (s.cache[n] == CState::S && s.cacheV[n] != s.curV) {
+            // Write-update sharers are refreshed asynchronously: a
+            // stale copy is legal while the episode is still open
+            // (BusyUpd) or while its refresh is still in flight.
+            bool excused = false;
+            if (_cfg.writeUpdate) {
+                if (s.dir == DState::BusyUpd)
+                    excused = true;
+                for (unsigned i = 0;
+                     !excused && i < s.chanLen[_cfg.home][n]; ++i) {
+                    const MMsg &m = s.chan[_cfg.home][n][i];
+                    if (m.type == MType::Update &&
+                        m.version > s.cacheV[n])
+                        excused = true;
+                }
+            }
+            if (!excused)
+                throw McError("stale SHARED copy");
+        }
         if ((s.racMask & (1u << n)) && s.racV[n] != s.curV)
             throw McError("stale RAC copy");
     }

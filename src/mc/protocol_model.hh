@@ -52,6 +52,7 @@ enum class DState : std::uint8_t
     BusyR,
     BusyE,
     Dele,
+    BusyUpd, ///< write-update episode open (value matches DirState)
 };
 
 /** Abstract message types (a subset of net/message.hh). */
@@ -75,6 +76,9 @@ enum class MType : std::uint8_t
     Delegate,
     Undele,
     Update,
+    UpdGrant, ///< write-update: permission + data from the home
+    UpdateWB, ///< write-update: writer returns the new data
+    UpdDrop,  ///< adaptive hybrid: consumer leaves the update stream
 };
 
 /** An abstract in-flight message. */
@@ -111,6 +115,15 @@ struct ModelConfig
     /** Detector threshold abstracted away: any writer with the line
      *  SHARED at the home may be delegated (nondeterministically),
      *  which over-approximates the detector's choices. */
+
+    /** Dragon-style write-update policy: the home serializes write
+     *  episodes through BusyUpd (UpdGrant / UpdateWB) and sharers are
+     *  refreshed in place; mutually exclusive with delegation. */
+    bool writeUpdate = false;
+    /** Adaptive hybrid on top of writeUpdate: a sharer receiving a
+     *  push may nondeterministically self-invalidate and UpdDrop,
+     *  which over-approximates the stale-update counter. */
+    bool adaptive = false;
 };
 
 /**

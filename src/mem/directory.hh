@@ -34,6 +34,8 @@ enum class DirState : std::uint8_t
     BusyRead, ///< intervention outstanding for a read
     BusyExcl, ///< intervention outstanding for a write
     Dele,     ///< directory duties delegated to a producer node
+    BusyUpd,  ///< write-update episode open (UpdGrant issued, the
+              ///< writer's UpdateWB closes it; policy.hh)
 };
 
 inline const char *
@@ -46,6 +48,7 @@ dirStateName(DirState s)
       case DirState::BusyRead: return "BusyRead";
       case DirState::BusyExcl: return "BusyExcl";
       case DirState::Dele: return "Dele";
+      case DirState::BusyUpd: return "BusyUpd";
     }
     return "?";
 }
@@ -71,7 +74,9 @@ struct DirEntry
 
     bool busy() const
     {
-        return state == DirState::BusyRead || state == DirState::BusyExcl;
+        return state == DirState::BusyRead ||
+               state == DirState::BusyExcl ||
+               state == DirState::BusyUpd;
     }
 
     bool isSharer(NodeId n) const { return sharers.contains(n); }

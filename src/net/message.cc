@@ -32,7 +32,16 @@ msgTypeName(MsgType t)
       case MsgType::Delegate: return "Delegate";
       case MsgType::Undele: return "Undele";
       case MsgType::Update: return "Update";
-      default: return "Unknown";
+      case MsgType::UpdGrant: return "UpdGrant";
+      case MsgType::UpdateWB: return "UpdateWB";
+      case MsgType::UpdateDrop: return "UpdateDrop";
+      default:
+        // 23..30 are reserved so MsgType stays value-aliased with
+        // PEvent across the synthetic local-event block.
+        return static_cast<unsigned>(t) >= 23 &&
+                       static_cast<unsigned>(t) <= 30
+                   ? "Reserved"
+                   : "Unknown";
     }
 }
 
@@ -49,6 +58,8 @@ msgCarriesData(MsgType t)
       case MsgType::Delegate:
       case MsgType::Undele:
       case MsgType::Update:
+      case MsgType::UpdGrant:
+      case MsgType::UpdateWB:
         return true;
       default:
         return false;

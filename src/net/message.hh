@@ -58,6 +58,18 @@ enum class MsgType : std::uint8_t
     // Speculative updates (Section 2.4).
     Update,          ///< producer -> consumer: pushed line contents
 
+    // Write-update policies (src/protocol/policy.hh). Numbered after
+    // the verify layer's synthetic local-event block (PEvent values
+    // 23..30) so MsgType and PEvent stay value-aliased for every
+    // message type without renumbering any existing event code --
+    // committed conformance documents embed the numeric codes.
+    UpdGrant = 31,   ///< home -> writer: write permission + data,
+                     ///< home is BUSY_UPD until the UpdateWB returns
+    UpdateWB,        ///< writer -> home: the new data, closes the
+                     ///< write episode and fans out Updates
+    UpdateDrop,      ///< consumer -> home: stop updating me
+                     ///< (adaptive self-invalidation)
+
     NumMsgTypes
 };
 

@@ -2,6 +2,7 @@
 
 #include "src/protocol/backoff.hh"
 #include "src/protocol/hub.hh"
+#include "src/protocol/policy.hh"
 #include "src/protocol/producer_controller.hh"
 #include "src/sim/logging.hh"
 #include "src/verify/observer.hh"
@@ -53,7 +54,9 @@ CacheController::performStore(Addr line, L2Entry &entry)
     const Version nv =
         _hub.checker().storePerformed(_hub.id(), line, entry.version);
     entry.version = nv;
-    entry.state = LineState::Modified;
+    // The policy sets the post-store state and emits any protocol
+    // traffic (MESI: Modified; update-based: Shared + UpdateWB).
+    _hub.policy().finishStore(*this, line, entry);
     // Our own unpinned RAC copy would now be stale; drop it. A pinned
     // copy (we are the delegated home) is refreshed at downgrade time.
     if (Rac *rac = _hub.rac()) {
@@ -91,6 +94,7 @@ CacheController::access(bool is_write, Addr addr, AccessCallback done,
                 panic("node %u: L1 hit without L2 inclusion for 0x%llx",
                       _hub.id(), (unsigned long long)line);
             ++st.l1Hits;
+            e->staleUpdates = 0; // the update stream is being read
             const Version v = e->version;
             _hub.checker().loadPerformed(_hub.id(), line, v);
             eq.scheduleIn(_l1.hitLatency(),
@@ -100,6 +104,7 @@ CacheController::access(bool is_write, Addr addr, AccessCallback done,
         if (e && canRead(e->state)) {
             ++st.l2Hits;
             _l1.fill(addr);
+            e->staleUpdates = 0;
             const Version v = e->version;
             _hub.checker().loadPerformed(_hub.id(), line, v);
             eq.scheduleIn(_cfg.l2HitLatency,
@@ -208,7 +213,7 @@ CacheController::sendRequest(Mshr &m)
     // Routing: producer table (delegated to me -> handled by my own
     // ProducerController), then consumer-table hint, then the home.
     NodeId target;
-    if (_cfg.delegationEnabled && _hub.prodCtrl().isDelegated(m.addr)) {
+    if (_cfg.delegationEnabled() && _hub.prodCtrl().isDelegated(m.addr)) {
         target = _hub.id();
     } else {
         target = invalidNode;
@@ -358,6 +363,16 @@ CacheController::handleResponse(const Message &msg)
         ++m->acksReceived;
         break;
 
+      case MsgType::UpdGrant:
+        // Write-update: permission + data; no invalidations, so no
+        // acks to collect. complete() performs the store and the
+        // policy self-downgrades + returns the data (UpdateWB).
+        m->haveData = true;
+        m->version = msg.version;
+        m->exclusiveGrant = true;
+        m->acksExpected = msg.ackCount;
+        break;
+
       case MsgType::Nack: {
         ++st.nacksReceived;
         std::size_t exp = 0;
@@ -438,7 +453,7 @@ CacheController::complete(Mshr &m)
 
     // Delegated lines: tell the producer engine the write epoch
     // completed so it can arm the delayed intervention.
-    if (was_write && _cfg.delegationEnabled &&
+    if (was_write && _cfg.delegationEnabled() &&
         _hub.prodCtrl().isDelegated(line)) {
         _hub.prodCtrl().onLocalWriteComplete(line);
     }
@@ -471,7 +486,15 @@ CacheController::l2Fill(Addr line, LineState state, Version version)
     }
     e->state = state;
     e->version = version;
+    e->staleUpdates = 0;
     return e;
+}
+
+void
+CacheController::dropLine(Addr line)
+{
+    _l1.invalidateRange(line, _cfg.lineBytes);
+    _l2.invalidate(line);
 }
 
 void
@@ -495,7 +518,7 @@ CacheController::evictVictim(Addr victim, L2Entry &v)
     const bool owned = v.state == LineState::Modified ||
                        v.state == LineState::Exclusive;
 
-    if (_cfg.delegationEnabled && _hub.prodCtrl().isDelegated(victim)) {
+    if (_cfg.delegationEnabled() && _hub.prodCtrl().isDelegated(victim)) {
         // Flush of a delegated line: the pinned RAC entry is the
         // surrogate memory; absorb the data there and keep the
         // delegation (see DESIGN.md, undelegation reason 2).
@@ -710,8 +733,14 @@ CacheController::handleUpdate(const Message &msg)
     }
 
     L2Entry *e = _l2.find(line);
-    if (e && e->state != LineState::Invalid)
-        return; // already have current data
+    if (e && e->state != LineState::Invalid) {
+        // Update-based policies refresh the copy in place (possibly
+        // leaving the update stream); invalidate-based ones already
+        // hold the current epoch.
+        if (_cfg.updateBased())
+            _hub.policy().updateSharedCopy(*this, msg, *e);
+        return;
+    }
 
     Rac *rac = _hub.rac();
     if (!rac) {

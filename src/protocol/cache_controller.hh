@@ -41,6 +41,9 @@ struct L2Entry
 {
     LineState state = LineState::Invalid;
     Version version = 0;
+    /** Update-based policies: pushes absorbed since the last local
+     *  read (the adaptive hybrid's self-invalidation counter). */
+    std::uint32_t staleUpdates = 0;
 };
 
 /** Completion callback: delivers the line version that was read or
@@ -91,6 +94,15 @@ class CacheController
 
     /** Number of outstanding transactions (drain detection). */
     std::size_t outstanding() { return _mshrs.size(); }
+
+    /** @name Policy support surface (src/protocol/policy.hh). */
+    /// @{
+    Hub &hub() { return _hub; }
+
+    /** Drop a valid local copy (L1 range + L2), as the adaptive
+     *  hybrid's consumer self-invalidation does. */
+    void dropLine(Addr line);
+    /// @}
 
   private:
     void missPath(bool is_write, Addr addr, Addr line,

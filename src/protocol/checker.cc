@@ -55,7 +55,10 @@ CoherenceChecker::storePerformed(NodeId node, Addr line,
     // ticks mid-window, so their caches may legitimately still show
     // copies this store's invalidations will erase "later"; skip the
     // instantaneous scan there (quiescent checks still cover it).
-    for (std::size_t n = 0; !_parallel && n < _nodes.size(); ++n) {
+    // Update-based policies skip it by design: sharers keep readable
+    // copies while the writer's episode is open (setUpdateBased).
+    for (std::size_t n = 0;
+         !_parallel && !_updateBased && n < _nodes.size(); ++n) {
         if (n == node)
             continue;
         Version v;

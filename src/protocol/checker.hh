@@ -105,6 +105,17 @@ class CoherenceChecker
      */
     void setParallel(bool on) { _parallel = on; }
 
+    /**
+     * Update-based policy mode (write-update / adaptive hybrid): the
+     * single-writer invariant does not hold -- sharers legitimately
+     * keep readable copies while a store performs, and the writer's
+     * UpdateWB refreshes them. Skip the instantaneous cross-node scan;
+     * the lost-update check (stores must start from the current
+     * version, serialized by the home's BUSY_UPD episode) and the
+     * quiescence sweep still run.
+     */
+    void setUpdateBased(bool on) { _updateBased = on; }
+
     /** Attach the per-run message trace: violations then report the
      *  last few messages seen for the offending line. */
     void setTrace(const verify::MessageTrace *trace) { _trace = trace; }
@@ -150,6 +161,7 @@ class CoherenceChecker
 
     bool _enabled;
     bool _parallel = false;
+    bool _updateBased = false;
     /** Guards _authority, _lastSeen and _numChecks in parallel mode
      *  (the version authority runs even with checking disabled: it
      *  is the data-value oracle for every store). */

@@ -20,9 +20,49 @@ format(const char *fmt, unsigned long long a, unsigned long long b = 0)
 
 } // namespace
 
+const char *
+protocolKindName(ProtocolKind k)
+{
+    switch (k) {
+      case ProtocolKind::MesiDir:
+        return "mesi-dir";
+      case ProtocolKind::Delegation:
+        return "delegation";
+      case ProtocolKind::DelegationUpdates:
+        return "delegation-updates";
+      case ProtocolKind::WriteUpdate:
+        return "write-update";
+      case ProtocolKind::AdaptiveHybrid:
+        return "adaptive-hybrid";
+      default:
+        return "?";
+    }
+}
+
+bool
+protocolKindFromName(const std::string &name, ProtocolKind &out)
+{
+    for (unsigned k = 0;
+         k < static_cast<unsigned>(ProtocolKind::NumProtocolKinds); ++k) {
+        const auto kind = static_cast<ProtocolKind>(k);
+        if (name == protocolKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::string
 ProtocolConfig::validateError() const
 {
+    if (kind >= ProtocolKind::NumProtocolKinds)
+        return format("unknown ProtocolKind %llu (valid kinds are "
+                      "0..%llu; see protocolKindName)",
+                      static_cast<unsigned long long>(kind),
+                      static_cast<unsigned long long>(
+                          ProtocolKind::NumProtocolKinds) -
+                          1);
     if (numNodes == 0)
         return "numNodes must be at least 1";
     if (numNodes > maxNodes)
@@ -74,10 +114,12 @@ ProtocolConfig::validateError() const
             rac.sizeBytes < rac.ways * rac.lineBytes)
             return "RAC geometry is degenerate (size/ways/lineBytes)";
     }
-    if (delegationEnabled) {
+    if (delegationEnabled()) {
         if (!racEnabled)
-            return "delegation requires a RAC (pinned surrogate "
-                   "memory): enable racEnabled";
+            return std::string("protocol kind '") +
+                   protocolKindName(kind) +
+                   "' requires a RAC (pinned surrogate memory): "
+                   "enable racEnabled";
         if (delegate.producerEntries == 0 ||
             delegate.consumerEntries == 0 || delegate.ways == 0)
             return "delegate cache needs nonzero producer/consumer "
@@ -87,9 +129,18 @@ ProtocolConfig::validateError() const
                           "(%llu) >= ways (%llu)",
                           delegate.producerEntries, delegate.ways);
     }
-    if (updatesEnabled && !delegationEnabled)
-        return "speculative updates require delegation: enable "
-               "delegationEnabled";
+    if (updateBased()) {
+        if (racEnabled)
+            return std::string("protocol kind '") +
+                   protocolKindName(kind) +
+                   "' is update-based and keeps sharer copies fresh "
+                   "in place: the RAC does not apply (disable "
+                   "racEnabled)";
+        if (adaptive() && adaptiveThreshold == 0)
+            return "adaptiveThreshold must be at least 1 (a consumer "
+                   "must absorb at least one unread update before it "
+                   "may self-invalidate)";
+    }
 
     if (faults.enabled) {
         const std::string ferr =

@@ -22,6 +22,36 @@
 namespace pcsim
 {
 
+/**
+ * Which coherence policy the protocol stack runs (the key into the
+ * CoherencePolicy registry, src/protocol/policy.hh).
+ *
+ * The first three kinds are the original hard-wired stack: the base
+ * SGI-Origin-style MESI directory, plus the HPCA'07 delegation and
+ * delegation+speculative-update mechanisms. WriteUpdate is a
+ * Dragon-style write-update protocol (stores broadcast new data to
+ * sharers instead of invalidating them); AdaptiveHybrid is the
+ * per-line competitive hybrid that starts update-based and lets each
+ * consumer self-invalidate out of the update stream after
+ * `adaptiveThreshold` unread updates.
+ */
+enum class ProtocolKind : std::uint8_t
+{
+    MesiDir,           ///< base directory write-invalidate
+    Delegation,        ///< + HPCA'07 directory delegation
+    DelegationUpdates, ///< + speculative update pushes
+    WriteUpdate,       ///< Dragon-style write-update
+    AdaptiveHybrid,    ///< per-line adaptive update/invalidate
+    NumProtocolKinds
+};
+
+/** Display name of @p k ("mesi-dir", "delegation", ...). */
+const char *protocolKindName(ProtocolKind k);
+
+/** Parse a kind name (the protocolKindName spellings, case-sensitive);
+ *  returns false for unknown names. */
+bool protocolKindFromName(const std::string &name, ProtocolKind &out);
+
 /** Everything a node and its controllers need to know. */
 struct ProtocolConfig
 {
@@ -90,14 +120,48 @@ struct ProtocolConfig
     // MSHRs (Table 1: max 16 outstanding L2 misses).
     std::size_t mshrs = 16;
 
+    // --- coherence policy ---------------------------------------
+
+    /** The coherence policy (replaces the old delegationEnabled /
+     *  updatesEnabled bool pair; those remain as accessors below so
+     *  call sites read the same). */
+    ProtocolKind kind = ProtocolKind::MesiDir;
+
+    /** HPCA'07 directory delegation is active (Section 2.3). */
+    bool delegationEnabled() const
+    {
+        return kind == ProtocolKind::Delegation ||
+               kind == ProtocolKind::DelegationUpdates;
+    }
+    /** Speculative update pushes are active (Section 2.4). */
+    bool updatesEnabled() const
+    {
+        return kind == ProtocolKind::DelegationUpdates;
+    }
+    /** Stores propagate by updating sharers instead of invalidating
+     *  them (WriteUpdate and AdaptiveHybrid). */
+    bool updateBased() const
+    {
+        return kind == ProtocolKind::WriteUpdate ||
+               kind == ProtocolKind::AdaptiveHybrid;
+    }
+    /** Per-line competitive update/invalidate adaptation is active. */
+    bool adaptive() const
+    {
+        return kind == ProtocolKind::AdaptiveHybrid;
+    }
+
+    /** AdaptiveHybrid: consecutive updates a consumer absorbs without
+     *  reading the line before it self-invalidates out of the update
+     *  stream (the classic competitive-snooping threshold). */
+    std::uint32_t adaptiveThreshold = 4;
+
     // --- HPCA'07 mechanisms -------------------------------------
     bool racEnabled = false;
     RacConfig rac;
 
-    bool delegationEnabled = false;
     DelegateCacheConfig delegate;
 
-    bool updatesEnabled = false;
     /** Delayed intervention interval (Section 2.4.1; Figure 9 sweeps
      *  5 .. 500M; maxTick = "infinite" = never intervene). */
     Tick interventionDelay = 50;

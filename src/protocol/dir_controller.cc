@@ -5,6 +5,7 @@
 #include "src/net/faults.hh"
 #include "src/protocol/backoff.hh"
 #include "src/protocol/hub.hh"
+#include "src/protocol/policy.hh"
 #include "src/sim/logging.hh"
 #include "src/verify/observer.hh"
 
@@ -127,195 +128,43 @@ DirController::handleRequest(const Message &msg)
         return;
     }
 
+    const CoherencePolicy &policy = _hub.policy();
     if (msg.type == MsgType::ReqShared)
-        handleRead(msg, *e, ready);
+        policy.handleRead(*this, msg, *e, ready);
     else
-        handleWrite(msg, *e, ready);
+        policy.handleWrite(*this, msg, *e, ready);
 }
 
 void
-DirController::handleRead(const Message &msg, DirCacheEntry &e,
-                          Tick ready)
+DirController::handleUpdateWB(const Message &msg)
 {
-    const NodeId req = msg.requester;
-    DirEntry &d = e.dir;
+    DIR_CONFORMANCE_SCOPE(msg, verify::PEvent::UpdateWB);
 
-    if (d.state != DirState::Dele)
-        e.detector.onRead(req, _cfg.detector);
-
-    switch (d.state) {
-      case DirState::Unowned:
-      case DirState::Shared: {
-        d.state = DirState::Shared;
-        d.addSharer(req);
-        Message resp;
-        resp.type = MsgType::RespSharedData;
-        resp.addr = msg.addr;
-        resp.dst = req;
-        resp.version = d.memVersion;
-        resp.txnId = msg.txnId;
-        _hub.sendAt(withMemData(ready), resp);
-        break;
-      }
-
-      case DirState::Excl: {
-        if (d.owner == req) {
-            // Transient: our view and the owner's disagree (should be
-            // prevented by point-to-point ordering); retry.
-            sendNack(msg, ready);
-            break;
-        }
-        d.pendingReq = req;
-        d.pendingType = MsgType::ReqShared;
-        d.pendingOwner = d.owner;
-        d.pendingTxnId = msg.txnId;
-        d.state = DirState::BusyRead;
-        ++_hub.stats().interventionsSent;
-        Message iv;
-        iv.type = MsgType::IntervDowngrade;
-        iv.addr = msg.addr;
-        iv.dst = d.pendingOwner;
-        iv.requester = req;
-        iv.txnId = msg.txnId;
-        _hub.sendAt(ready, iv);
-        break;
-      }
-
-      case DirState::BusyRead:
-      case DirState::BusyExcl:
-        sendNack(msg, ready);
-        break;
-
-      case DirState::Dele:
-        forwardToDelegate(msg, e, ready);
-        break;
+    Tick ready;
+    DirCacheEntry *e = access(msg.addr, ready);
+    if (!e) {
+        // The entry is BUSY_UPD and busy entries are unevictable, so
+        // it is resident by construction; a wedged set here means the
+        // episode state was lost.
+        panic("node %u: UpdateWB with wedged directory set: %s",
+              _hub.id(), msg.toString().c_str());
     }
+    _hub.policy().handleUpdateWB(*this, msg, *e, ready);
 }
 
 void
-DirController::handleWrite(const Message &msg, DirCacheEntry &e,
-                           Tick ready)
+DirController::handleUpdateDrop(const Message &msg)
 {
-    const NodeId req = msg.requester;
-    DirEntry &d = e.dir;
+    DIR_CONFORMANCE_SCOPE(msg, verify::PEvent::UpdateDrop);
 
-    bool detected = false;
-    if (d.state != DirState::Dele)
-        detected = e.detector.onWrite(req, _cfg.detector);
-
-    // Delegation trigger (Section 2.3.1): a stable producer writing a
-    // line whose data is at the home. When the producer IS the home
-    // (common under first-touch placement) the entry is
-    // self-delegated: requests were already 2-hop, but the delayed
-    // intervention + speculative update machinery still converts the
-    // consumers' 2-hop misses into local misses.
-    if (_cfg.delegationEnabled && detected &&
-        e.detector.producer() == req &&
-        (d.state == DirState::Shared || d.state == DirState::Unowned)) {
-        delegate(msg.addr, req, e, ready, msg.txnId);
+    Tick ready;
+    DirCacheEntry *e = access(msg.addr, ready);
+    if (!e) {
+        // A drop is pure unsubscription: losing it costs a few extra
+        // pushes the consumer will drop at INVALID, never correctness.
         return;
     }
-
-    switch (d.state) {
-      case DirState::Unowned: {
-        d.state = DirState::Excl;
-        d.owner = req;
-        d.sharers.clear();
-        Message resp;
-        resp.type = MsgType::RespExclData;
-        resp.addr = msg.addr;
-        resp.dst = req;
-        resp.version = d.memVersion;
-        resp.ackCount = 0;
-        resp.txnId = msg.txnId;
-        _hub.sendAt(withMemData(ready), resp);
-        break;
-      }
-
-      case DirState::Shared: {
-        const bool is_upgrade =
-            msg.type == MsgType::ReqUpgrade && d.isSharer(req);
-        // Table 3 instrumentation: consumers per producer-consumer
-        // write = sharers being invalidated (excluding the writer).
-        if (e.detector.isProducerConsumer(_cfg.detector)) {
-            unsigned others = 0;
-            d.sharers.forEachNode(_cfg.numNodes, [&](NodeId n) {
-                others += n != req;
-            });
-            _hub.sampleConsumers(msg.addr, others);
-        }
-        // Invalidate every other sharer; acks go to the requester.
-        // Coarse vectors expand to whole node groups here: members
-        // without a copy simply ack (the ack count matches the invals
-        // sent, so the requester's bookkeeping still balances).
-        std::uint16_t acks = 0;
-        d.sharers.forEachNode(_cfg.numNodes, [&](NodeId n) {
-            if (n == req)
-                return;
-            ++acks;
-            ++_hub.stats().interventionsSent;
-            Message iv;
-            iv.type = MsgType::Inval;
-            iv.addr = msg.addr;
-            iv.dst = n;
-            iv.requester = req;
-            iv.txnId = msg.txnId;
-            // Carry the superseded epoch so late speculative updates
-            // for older epochs can be recognized and dropped.
-            iv.version = d.memVersion;
-            _hub.sendAt(ready, iv);
-        });
-        d.state = DirState::Excl;
-        d.owner = req;
-        d.sharers.clear();
-
-        Message resp;
-        resp.addr = msg.addr;
-        resp.dst = req;
-        resp.ackCount = acks;
-        resp.txnId = msg.txnId;
-        Tick when = ready;
-        if (is_upgrade) {
-            resp.type = MsgType::RespUpgradeAck;
-        } else {
-            resp.type = MsgType::RespExclData;
-            resp.version = d.memVersion;
-            when = withMemData(ready);
-        }
-        _hub.sendAt(when, resp);
-        break;
-      }
-
-      case DirState::Excl: {
-        if (d.owner == req) {
-            sendNack(msg, ready);
-            break;
-        }
-        d.pendingReq = req;
-        d.pendingType = msg.type;
-        d.pendingOwner = d.owner;
-        d.pendingTxnId = msg.txnId;
-        d.state = DirState::BusyExcl;
-        ++_hub.stats().interventionsSent;
-        Message iv;
-        iv.type = MsgType::IntervTransfer;
-        iv.addr = msg.addr;
-        iv.dst = d.pendingOwner;
-        iv.requester = req;
-        iv.txnId = msg.txnId;
-        _hub.sendAt(ready, iv);
-        break;
-      }
-
-      case DirState::BusyRead:
-      case DirState::BusyExcl:
-        sendNack(msg, ready);
-        break;
-
-      case DirState::Dele:
-        forwardToDelegate(msg, e, ready);
-        break;
-    }
+    _hub.policy().handleUpdateDrop(*this, msg, *e, ready);
 }
 
 void

@@ -42,13 +42,19 @@ class DirController
   public:
     DirController(Hub &hub, Rng rng);
 
-    /** ReqShared / ReqExcl / ReqUpgrade for a line homed here. */
+    /** ReqShared / ReqExcl / ReqUpgrade for a line homed here:
+     *  common bookkeeping, then dispatch into the coherence policy's
+     *  handleRead / handleWrite (src/protocol/policy.hh). */
     void handleRequest(const Message &msg);
     void handleWriteback(const Message &msg);
     void handleSharedWriteback(const Message &msg);
     void handleTransferAck(const Message &msg);
     void handleIntervNack(const Message &msg);
     void handleUndele(const Message &msg);
+    /** Update-based policies: writer closes an episode / consumer
+     *  leaves the update stream. */
+    void handleUpdateWB(const Message &msg);
+    void handleUpdateDrop(const Message &msg);
 
     /** Merged directory view (cache over store) for the checker. */
     DirEntry dirEntry(Addr line) const;
@@ -57,13 +63,11 @@ class DirController
     DirectoryCache &dirCache() { return _dirCache; }
     DramModel &dram() { return _dram; }
 
-  private:
-    /** Directory-cache access charging DRAM latency on miss.
-     *  @param[out] ready earliest tick a reply may leave. */
-    DirCacheEntry *access(Addr line, Tick &ready);
-
-    void handleRead(const Message &msg, DirCacheEntry &e, Tick ready);
-    void handleWrite(const Message &msg, DirCacheEntry &e, Tick ready);
+    /** @name Policy support surface.
+     *  Shared machinery CoherencePolicy implementations call back
+     *  into while servicing a dispatched request. */
+    /// @{
+    Hub &hub() { return _hub; }
 
     /** Detected pattern: delegate the line to @p producer.
      *  @param txn_id the triggering write's transaction id. */
@@ -76,6 +80,12 @@ class DirController
     void sendNack(const Message &msg, Tick ready);
     /** Charge a DRAM data access and combine with @p ready. */
     Tick withMemData(Tick ready);
+    /// @}
+
+  private:
+    /** Directory-cache access charging DRAM latency on miss.
+     *  @param[out] ready earliest tick a reply may leave. */
+    DirCacheEntry *access(Addr line, Tick &ready);
 
     /** @name Bounded local re-handle retries.
      *

@@ -1,5 +1,6 @@
 #include "src/protocol/hub.hh"
 
+#include "src/protocol/policy.hh"
 #include "src/sim/logging.hh"
 #include "src/verify/observer.hh"
 #include "src/verify/trace.hh"
@@ -15,16 +16,17 @@ Hub::Hub(EventQueue &eq, Network &net, MemoryMap &mem_map,
       _cfg(cfg),
       _net(net),
       _memMap(mem_map),
-      _checker(checker)
+      _checker(checker),
+      _policy(&policyFor(cfg.kind))
 {
-    if (cfg.delegationEnabled && !cfg.racEnabled)
+    if (cfg.delegationEnabled() && !cfg.racEnabled)
         fatal("delegation requires a RAC (pinned surrogate memory)");
-    if (cfg.updatesEnabled && !cfg.delegationEnabled)
+    if (cfg.updatesEnabled() && !cfg.delegationEnabled())
         fatal("speculative updates require delegation");
 
     if (cfg.racEnabled)
         _rac = std::make_unique<Rac>(cfg.rac, rng.fork());
-    if (cfg.delegationEnabled)
+    if (cfg.delegationEnabled())
         _delegate = std::make_unique<DelegateCache>(cfg.delegate,
                                                     rng.fork());
 
@@ -87,7 +89,7 @@ Hub::handleMessage(const Message &msg)
       case MsgType::ReqShared:
       case MsgType::ReqExcl:
       case MsgType::ReqUpgrade:
-        if (_cfg.delegationEnabled && _prodCtrl->isDelegated(msg.addr)) {
+        if (_cfg.delegationEnabled() && _prodCtrl->isDelegated(msg.addr)) {
             _prodCtrl->handleRequest(msg);
         } else if (homeOf(msg.addr) == _id) {
             _dirCtrl->handleRequest(msg);
@@ -134,6 +136,15 @@ Hub::handleMessage(const Message &msg)
 
       case MsgType::Update:
         _cacheCtrl->handleUpdate(msg);
+        break;
+
+      case MsgType::UpdateWB:
+        if (homeOf(msg.addr) != _id)
+            panic("hub%u: UpdateWB for line not homed here", _id);
+        _dirCtrl->handleUpdateWB(msg);
+        break;
+      case MsgType::UpdateDrop:
+        _dirCtrl->handleUpdateDrop(msg);
         break;
 
       case MsgType::HomeHint:

@@ -42,6 +42,8 @@ class MessageTrace;
 class TransitionObserver;
 } // namespace verify
 
+class CoherencePolicy;
+
 /** One node's hub. */
 class Hub : public SimObject,
             public MessageHandler,
@@ -64,6 +66,10 @@ class Hub : public SimObject,
     CacheController &cacheCtrl() { return *_cacheCtrl; }
     DirController &dirCtrl() { return *_dirCtrl; }
     ProducerController &prodCtrl() { return *_prodCtrl; }
+
+    /** The coherence policy this node runs (resolved once from
+     *  ProtocolConfig::kind; src/protocol/policy.hh). */
+    const CoherencePolicy &policy() const { return *_policy; }
 
     /** Optional structures (null when the config disables them). */
     Rac *rac() { return _rac.get(); }
@@ -168,6 +174,8 @@ class Hub : public SimObject,
     MemoryMap &_memMap;
     CoherenceChecker &_checker;
     NodeStats _stats;
+
+    const CoherencePolicy *_policy;
 
     verify::TransitionObserver *_observer = nullptr;
     verify::MessageTrace *_trace = nullptr;

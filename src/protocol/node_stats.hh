@@ -90,6 +90,23 @@ struct NodeStats
     // Writebacks.
     std::uint64_t writebacks = 0;
 
+    /** @name Update-based policies (write-update / adaptive hybrid).
+     *
+     * Like the retry-storm block, deliberately NOT in the serialized
+     * per-node schema (PCSIM_NODE_STATS_FIELDS): they aggregate into
+     * an optional "policy" block in the results JSON only under an
+     * update-based kind, keeping existing goldens byte-identical.
+     */
+    /// @{
+    /** Write episodes opened at this home (UpdGrant issued). */
+    std::uint64_t updateEpisodes = 0;
+    /** Update pushes applied in place to a valid local copy. */
+    std::uint64_t updatesApplied = 0;
+    /** Adaptive hybrid: copies self-invalidated out of the update
+     *  stream (UpdateDrop sent). */
+    std::uint64_t adaptiveDrops = 0;
+    /// @}
+
     /** Hardware cost accounting, not a counter: detector bits per
      *  directory-cache entry for this machine size (8 at the paper's
      *  N=16, see pcDetectorBitsPerEntry). Set once at construction,
@@ -143,6 +160,9 @@ struct NodeStats
         updatesDropped += o.updatesDropped;
         extraWriteMisses += o.extraWriteMisses;
         writebacks += o.writebacks;
+        updateEpisodes += o.updateEpisodes;
+        updatesApplied += o.updatesApplied;
+        adaptiveDrops += o.adaptiveDrops;
         detectorBitsPerEntry =
             std::max(detectorBitsPerEntry, o.detectorBitsPerEntry);
         return *this;

@@ -274,7 +274,7 @@ ProducerController::serveRemoteRead(const Message &msg, ProducerEntry &e)
     const NodeId req = msg.requester;
 
     if (e.dir.state == DirState::Excl) {
-        if (_cfg.updatesEnabled && e.intervPending &&
+        if (_cfg.updatesEnabled() && e.intervPending &&
             e.pendingNacks == 0) {
             // The push is imminent; by the time the requester retries
             // it will normally find the update in its RAC ("the
@@ -324,7 +324,7 @@ ProducerController::onLocalWriteComplete(Addr line)
     ++e->epochs;
     e->pendingNacks = 0;
 
-    if (!_cfg.updatesEnabled || e->intervPending)
+    if (!_cfg.updatesEnabled() || e->intervPending)
         return;
     if (_cfg.interventionDelay == maxTick)
         return; // "infinite" delay: never intervene (Figure 9)
@@ -385,7 +385,7 @@ ProducerController::completeEpoch(Addr line, ProducerEntry &e,
     e.dir.sharers.add(self);
     e.dir.owner = invalidNode;
 
-    if (!_cfg.updatesEnabled || _cfg.interventionDelay == maxTick)
+    if (!_cfg.updatesEnabled() || _cfg.interventionDelay == maxTick)
         return; // "infinite" delay (Figure 9): no speculative pushes
 
     // Push the new data to the predicted consumers (Section 2.4.2:

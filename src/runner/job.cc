@@ -173,6 +173,18 @@ makeDelegation(unsigned n)
     return presets::delegationOnly(32, 32 * 1024, n);
 }
 
+MachineConfig
+makeWriteUpdate(unsigned n)
+{
+    return presets::writeUpdate(n);
+}
+
+MachineConfig
+makeAdaptiveHybrid(unsigned n)
+{
+    return presets::adaptiveHybrid(n);
+}
+
 const ConfigEntry configTable[] = {
     {"base", "", presets::base},
     {"rac32k", "rac", makeRac32k},
@@ -180,6 +192,8 @@ const ConfigEntry configTable[] = {
     {"small", "pcopt", presets::small},
     {"large", "pcopt-large", presets::large},
     {"delegation", "delegation-only", makeDelegation},
+    {"write-update", "update", makeWriteUpdate},
+    {"adaptive-hybrid", "adaptive", makeAdaptiveHybrid},
 };
 
 } // namespace

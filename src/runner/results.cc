@@ -168,6 +168,17 @@ toJson(const RunResult &r, bool with_timing)
         retry["faultExtraTicks"] = JsonValue(r.faultExtraTicks);
         v["retry"] = std::move(retry);
     }
+
+    // Update-based-policy counters exist only under write-update /
+    // adaptive-hybrid kinds; invalidate-based documents stay
+    // byte-identical to the goldens.
+    if (r.updateBased) {
+        JsonValue pol = JsonValue::object();
+        pol["updateEpisodes"] = JsonValue(r.nodes.updateEpisodes);
+        pol["updatesApplied"] = JsonValue(r.nodes.updatesApplied);
+        pol["adaptiveDrops"] = JsonValue(r.nodes.adaptiveDrops);
+        v["policy"] = std::move(pol);
+    }
     return v;
 }
 
@@ -253,6 +264,14 @@ runResultFromJson(const JsonValue &v)
         r.faultDelayedMessages =
             retry->at("faultDelayedMessages").asUInt();
         r.faultExtraTicks = retry->at("faultExtraTicks").asUInt();
+    }
+
+    // Optional: only update-based-policy runs emit it.
+    if (const JsonValue *pol = v.find("policy")) {
+        r.updateBased = true;
+        r.nodes.updateEpisodes = pol->at("updateEpisodes").asUInt();
+        r.nodes.updatesApplied = pol->at("updatesApplied").asUInt();
+        r.nodes.adaptiveDrops = pol->at("adaptiveDrops").asUInt();
     }
     return r;
 }

@@ -27,8 +27,7 @@ delegateUpdate(std::size_t delegate_entries, std::size_t rac_bytes,
                unsigned num_nodes)
 {
     MachineConfig m = racOnly(rac_bytes, num_nodes);
-    m.proto.delegationEnabled = true;
-    m.proto.updatesEnabled = true;
+    m.proto.kind = ProtocolKind::DelegationUpdates;
     m.proto.delegate.producerEntries = delegate_entries;
     m.proto.delegate.consumerEntries = delegate_entries;
     return m;
@@ -40,7 +39,24 @@ delegationOnly(std::size_t delegate_entries, std::size_t rac_bytes,
 {
     MachineConfig m = delegateUpdate(delegate_entries, rac_bytes,
                                      num_nodes);
-    m.proto.updatesEnabled = false;
+    m.proto.kind = ProtocolKind::Delegation;
+    return m;
+}
+
+MachineConfig
+writeUpdate(unsigned num_nodes)
+{
+    MachineConfig m = base(num_nodes);
+    m.proto.kind = ProtocolKind::WriteUpdate;
+    return m;
+}
+
+MachineConfig
+adaptiveHybrid(unsigned num_nodes, std::uint32_t threshold)
+{
+    MachineConfig m = base(num_nodes);
+    m.proto.kind = ProtocolKind::AdaptiveHybrid;
+    m.proto.adaptiveThreshold = threshold;
     return m;
 }
 
@@ -79,6 +95,21 @@ scaleConfigs(unsigned num_nodes)
         {"base", base(num_nodes)},
         {"delegation", delegationOnly(32, 32 * 1024, num_nodes)},
         {"delegate-update", delegateUpdate(32, 32 * 1024, num_nodes)},
+    };
+}
+
+std::vector<NamedConfig>
+compareConfigs(unsigned num_nodes)
+{
+    // One entry per registered policy, named by protocolKindName so
+    // the bake-off table reads like the CLI's --protocol values.
+    return {
+        {"mesi-dir", base(num_nodes)},
+        {"delegation", delegationOnly(32, 32 * 1024, num_nodes)},
+        {"delegation-updates",
+         delegateUpdate(32, 32 * 1024, num_nodes)},
+        {"write-update", writeUpdate(num_nodes)},
+        {"adaptive-hybrid", adaptiveHybrid(num_nodes)},
     };
 }
 

@@ -38,6 +38,14 @@ MachineConfig delegationOnly(std::size_t delegate_entries = 32,
                              std::size_t rac_bytes = 32 * 1024,
                              unsigned num_nodes = 16);
 
+/** Dragon-style write-update policy on the Table 1 machine. */
+MachineConfig writeUpdate(unsigned num_nodes = 16);
+
+/** Per-line adaptive update/invalidate hybrid on the Table 1
+ *  machine. */
+MachineConfig adaptiveHybrid(unsigned num_nodes = 16,
+                             std::uint32_t threshold = 4);
+
 /** The small (32-entry deledc + 32K RAC) configuration. */
 inline MachineConfig
 small(unsigned num_nodes = 16)
@@ -75,6 +83,14 @@ std::vector<unsigned> scaleNodeCounts();
  * + speculative updates (the paper's "small" sizing).
  */
 std::vector<NamedConfig> scaleConfigs(unsigned num_nodes);
+
+/**
+ * The `pcsim compare` bake-off roster: one configuration per
+ * registered coherence policy (mesi-dir, delegation,
+ * delegation-updates, write-update, adaptive-hybrid), all on the
+ * Table 1 machine at @p num_nodes.
+ */
+std::vector<NamedConfig> compareConfigs(unsigned num_nodes);
 
 /**
  * A coarse-sharing-vector variant: @p nodes_per_bit (power of two)

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 
+#include "src/protocol/policy.hh"
 #include "src/sim/logging.hh"
 
 namespace pcsim
@@ -32,12 +33,14 @@ System::System(const MachineConfig &cfg)
         _trace->setParallel(parallel);
     }
     if (cfg.proto.conformanceEnabled) {
+        // Each policy is held to its own transition spec.
         _observer = std::make_unique<verify::TransitionObserver>(
-            verify::protocolSpec(), _trace.get());
+            policyFor(cfg.proto.kind).spec(), _trace.get());
         _observer->setParallel(parallel);
     }
     _checker.setTrace(_trace.get());
     _checker.setParallel(parallel);
+    _checker.setUpdateBased(cfg.proto.updateBased());
     _net.attachKernel(_kernel);
     // Barrier flags share a page; interleave their homes by line so
     // placement is content-determined and no single directory absorbs
@@ -247,6 +250,7 @@ System::run(Workload &workload, Tick max_ticks)
         r.faultDelayedMessages = _net.faultDelayedMessages();
         r.faultExtraTicks = _net.faultExtraTicks();
     }
+    r.updateBased = _cfg.proto.updateBased();
     return r;
 }
 

@@ -84,6 +84,11 @@ struct RunResult
     std::uint64_t faultExtraTicks = 0;
     /// @}
 
+    /** The run used an update-based policy (write-update / adaptive
+     *  hybrid); gates the optional "policy" block in the results
+     *  JSON. */
+    bool updateBased = false;
+
     std::uint64_t totalMisses() const
     {
         return nodes.localMisses + nodes.remoteMisses;

@@ -1,6 +1,8 @@
 #include "src/verify/lint.hh"
 
 #include <algorithm>
+#include <cstddef>
+#include <iterator>
 #include <map>
 #include <set>
 
@@ -43,7 +45,7 @@ lintUnhandled(const TransitionSpec &spec, LintReport &r)
          ci < static_cast<unsigned>(Ctrl::NumCtrls); ++ci) {
         const Ctrl c = static_cast<Ctrl>(ci);
         for (const auto &[s, name] : spec.states(c)) {
-            for (PEvent e : TransitionSpec::relevantEvents(c)) {
+            for (PEvent e : spec.relevant(c)) {
                 if (spec.find(c, s, e) || spec.isImpossible(c, s, e))
                     continue;
                 finding(r, "unhandled", c, name, eventName(e),
@@ -190,36 +192,67 @@ mapMcEvent(unsigned ev, PEvent &out)
       case MType::Delegate: out = PEvent::Delegate; return true;
       case MType::Undele: out = PEvent::Undele; return true;
       case MType::Update: out = PEvent::Update; return true;
+      case MType::UpdGrant: out = PEvent::UpdGrant; return true;
+      case MType::UpdateWB: out = PEvent::UpdateWB; return true;
+      case MType::UpdDrop: out = PEvent::UpdateDrop; return true;
       default: return false;
     }
 }
 
 void
-lintModelCrossCheck(const TransitionSpec &spec, LintReport &r)
+lintModelCrossCheck(const TransitionSpec &spec, McCheckSet set,
+                    LintReport &r)
 {
     struct McConfig
     {
         const char *name;
         bool delegation;
         bool updates;
+        bool writeUpdate;
+        bool adaptive;
     };
     // 3-node abstraction, one mechanism at a time (matching how the
     // model is verified in tests); read budget 1 keeps each
     // exploration exhaustive and fast.
-    static const McConfig kConfigs[] = {
-        {"base", false, false},
-        {"delegation", true, false},
-        {"delegation+updates", true, true},
+    static const McConfig kMesiDele[] = {
+        {"base", false, false, false, false},
+        {"delegation", true, false, false, false},
+        {"delegation+updates", true, true, false, false},
+    };
+    static const McConfig kWriteUpdate[] = {
+        {"write-update", false, false, true, false},
+    };
+    static const McConfig kAdaptive[] = {
+        {"write-update", false, false, true, false},
+        {"adaptive-hybrid", false, false, true, true},
     };
 
+    const McConfig *configs = kMesiDele;
+    std::size_t num_configs = std::size(kMesiDele);
+    switch (set) {
+      case McCheckSet::MesiDele:
+        break;
+      case McCheckSet::WriteUpdate:
+        configs = kWriteUpdate;
+        num_configs = std::size(kWriteUpdate);
+        break;
+      case McCheckSet::AdaptiveHybrid:
+        configs = kAdaptive;
+        num_configs = std::size(kAdaptive);
+        break;
+    }
+
     std::map<std::uint32_t, std::string> observed; // tuple -> config
-    for (const McConfig &mcfg : kConfigs) {
+    for (std::size_t ci = 0; ci < num_configs; ++ci) {
+        const McConfig &mcfg = configs[ci];
         mc::ModelConfig cfg;
         cfg.nodes = 3;
         cfg.maxWrites = 2;
         cfg.maxReads = 1;
         cfg.delegation = mcfg.delegation;
         cfg.updates = mcfg.updates;
+        cfg.writeUpdate = mcfg.writeUpdate;
+        cfg.adaptive = mcfg.adaptive;
 
         mc::ProtocolModel model(cfg);
         TupleCollector collector;
@@ -318,10 +351,10 @@ lintSpec(const TransitionSpec &spec)
 }
 
 LintReport
-lintSpecWithModel(const TransitionSpec &spec)
+lintSpecWithModel(const TransitionSpec &spec, McCheckSet set)
 {
     LintReport r = lintSpec(spec);
-    lintModelCrossCheck(spec, r);
+    lintModelCrossCheck(spec, set, r);
     return r;
 }
 

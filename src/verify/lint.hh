@@ -61,10 +61,23 @@ struct LintReport
 /** Run the static passes (unhandled / ambiguous / unreachable). */
 LintReport lintSpec(const TransitionSpec &spec);
 
+/** Which family of abstract-model configurations the cross-check
+ *  explores (each spec is checked against the models of the policy it
+ *  describes; see src/protocol/policy.hh). */
+enum class McCheckSet
+{
+    MesiDele,      ///< base, delegation, delegation+updates
+    WriteUpdate,   ///< Dragon-style write-update
+    AdaptiveHybrid ///< write-update plus nondeterministic drops
+};
+
 /** Static passes plus the model cross-check: explore the 3-node
- *  abstraction under base, delegation, and delegation+updates
- *  configurations and check every transition taken against @p spec. */
-LintReport lintSpecWithModel(const TransitionSpec &spec);
+ *  abstraction under every configuration in @p set and check each
+ *  transition taken against @p spec. The default set covers the
+ *  MESI-dir + delegation stack (base, delegation, delegation+updates)
+ *  and keeps the historical single-argument behaviour. */
+LintReport lintSpecWithModel(const TransitionSpec &spec,
+                             McCheckSet set = McCheckSet::MesiDele);
 
 JsonValue lintToJson(const TransitionSpec &spec, const LintReport &r);
 std::string lintToCsv(const LintReport &r);

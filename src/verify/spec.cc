@@ -25,9 +25,8 @@ ctrlName(Ctrl c)
 const char *
 eventName(PEvent e)
 {
-    if (static_cast<unsigned>(e) <
-        static_cast<unsigned>(MsgType::NumMsgTypes))
-        return msgTypeName(static_cast<MsgType>(e));
+    // The synthetic local events occupy the 23..30 gap in MsgType, so
+    // name them first; everything else is a message-delivery event.
     switch (e) {
       case PEvent::CpuLoad:
         return "CpuLoad";
@@ -46,6 +45,9 @@ eventName(PEvent e)
       case PEvent::RacPressure:
         return "RacPressure";
       default:
+        if (static_cast<unsigned>(e) <
+            static_cast<unsigned>(MsgType::NumMsgTypes))
+            return msgTypeName(static_cast<MsgType>(e));
         return "?";
     }
 }
@@ -74,7 +76,7 @@ TransitionSpec::add(TransitionRule rule)
 {
     rule.sendMask = 0;
     for (MsgType t : rule.sends)
-        rule.sendMask |= 1u << static_cast<unsigned>(t);
+        rule.sendMask |= 1ull << static_cast<unsigned>(t);
     const unsigned key = keyOf(rule.ctrl, rule.state, rule.event);
     if (_ruleIndex[key] < 0)
         _ruleIndex[key] = static_cast<std::int16_t>(_rules.size());
@@ -179,6 +181,19 @@ TransitionSpec::relevantEvents(Ctrl c)
       default:
         return cache;
     }
+}
+
+void
+TransitionSpec::setRelevantEvents(Ctrl c, std::vector<PEvent> events)
+{
+    _relevant[static_cast<unsigned>(c)] = std::move(events);
+}
+
+const std::vector<PEvent> &
+TransitionSpec::relevant(Ctrl c) const
+{
+    const auto &override_ = _relevant[static_cast<unsigned>(c)];
+    return override_.empty() ? relevantEvents(c) : override_;
 }
 
 namespace
@@ -477,6 +492,125 @@ buildProducerRules(TransitionSpec &sp)
     rule(sp, C, prodExcl, E::Evict, {prodNone}, {T::Undele});
 }
 
+// --- Write-update / adaptive-hybrid policies ------------------------
+//
+// The update-based policies (src/protocol/policy.hh) speak a much
+// smaller vocabulary: caches only ever hold INVALID or SHARED lines
+// (stores self-downgrade within the UpdGrant handler), the directory
+// serializes write episodes through BUSY_UPD, and the producer table
+// is never engaged. Each spec carries its own relevantEvents override
+// so the unhandled-pair lint pass matches that vocabulary.
+
+void
+buildUpdateCacheRules(TransitionSpec &sp, bool adaptive)
+{
+    constexpr Ctrl C = Ctrl::Cache;
+    constexpr StateId I = static_cast<StateId>(LineState::Invalid);
+    constexpr StateId S = static_cast<StateId>(LineState::Shared);
+    using E = PEvent;
+    using T = MsgType;
+
+    sp.declareState(C, I, lineStateName(LineState::Invalid));
+    sp.declareState(C, S, lineStateName(LineState::Shared));
+    // MODIFIED/EXCLUSIVE are deliberately undeclared: the UpdGrant
+    // handler performs the store and self-downgrades to SHARED before
+    // returning, so no owned state is observable at an event boundary.
+    sp.setInitial(C, I);
+
+    // Processor accesses (no RAC under update-based policies, so a
+    // load miss cannot fill within its own handler).
+    rule(sp, C, I, E::CpuLoad, {I}, {T::ReqShared});
+    rule(sp, C, S, E::CpuLoad, {S});
+    rule(sp, C, I, E::CpuStore, {I}, {T::ReqExcl});
+    rule(sp, C, S, E::CpuStore, {S}, {T::ReqUpgrade});
+
+    // Replacement: SHARED copies are silently dropped (the home keeps
+    // the node listed and keeps updating; pushes land at INVALID).
+    sp.declareImpossible(C, I, E::Evict,
+                         "the L2 array stores no invalid entries");
+    rule(sp, C, S, E::Evict, {I});
+
+    // Read data replies; stale ones (txn id mismatch) self-loop.
+    rule(sp, C, I, E::RespSharedData, {I, S});
+    rule(sp, C, S, E::RespSharedData, {S});
+
+    // The write grant: perform the store, self-downgrade to SHARED
+    // and return the new data to the home in the same handler.
+    rule(sp, C, I, E::UpdGrant, {I, S}, {T::UpdateWB});
+    rule(sp, C, S, E::UpdGrant, {S}, {T::UpdateWB});
+
+    // Pushed updates refresh the SHARED copy in place (the adaptive
+    // hybrid may instead self-invalidate and leave the stream), or
+    // satisfy an outstanding read miss.
+    rule(sp, C, I, E::Update, {I, S});
+    if (adaptive)
+        rule(sp, C, S, E::Update, {S, I}, {T::UpdateDrop});
+    else
+        rule(sp, C, S, E::Update, {S});
+
+    // NACK retries reschedule outside the handler.
+    rule(sp, C, I, E::Nack, {I});
+    rule(sp, C, S, E::Nack, {S});
+
+    std::vector<PEvent> ev = {E::CpuLoad, E::CpuStore,  E::Evict,
+                              E::RespSharedData, E::UpdGrant,
+                              E::Update,  E::Nack};
+    sp.setRelevantEvents(C, std::move(ev));
+}
+
+void
+buildUpdateDirRules(TransitionSpec &sp, bool adaptive)
+{
+    constexpr Ctrl C = Ctrl::Dir;
+    constexpr StateId U = static_cast<StateId>(DirState::Unowned);
+    constexpr StateId S = static_cast<StateId>(DirState::Shared);
+    constexpr StateId BU = static_cast<StateId>(DirState::BusyUpd);
+    using E = PEvent;
+    using T = MsgType;
+
+    for (DirState ds :
+         {DirState::Unowned, DirState::Shared, DirState::BusyUpd})
+        sp.declareState(C, static_cast<StateId>(ds), dirStateName(ds));
+    sp.setInitial(C, U);
+
+    // Reads are served from memory in every stable state; a wedged
+    // directory-cache set NACKs with the state untouched.
+    rule(sp, C, U, E::ReqShared, {S, U}, {T::RespSharedData, T::Nack});
+    rule(sp, C, S, E::ReqShared, {S}, {T::RespSharedData, T::Nack});
+    rule(sp, C, BU, E::ReqShared, {BU}, {T::Nack});
+
+    // Writes open an update episode: BUSY_UPD + UpdGrant; a second
+    // writer is NACKed until the UpdateWB closes the episode.
+    for (E e : {E::ReqExcl, E::ReqUpgrade}) {
+        rule(sp, C, U, e, {BU, U}, {T::UpdGrant, T::Nack});
+        rule(sp, C, S, e, {BU, S}, {T::UpdGrant, T::Nack});
+        rule(sp, C, BU, e, {BU}, {T::Nack});
+    }
+
+    // The writer's data return: commit to memory, fan updates out to
+    // the other sharers, and list the writer as a sharer.
+    rule(sp, C, BU, E::UpdateWB, {S}, {T::Update});
+    sp.declareImpossible(C, U, E::UpdateWB,
+                         "UpdateWB only closes a BUSY_UPD episode");
+    sp.declareImpossible(C, S, E::UpdateWB,
+                         "UpdateWB only closes a BUSY_UPD episode");
+
+    if (adaptive) {
+        // A consumer leaving the update stream. Exact sharer vectors
+        // drop the node; coarse vectors keep the group listed (the
+        // consumer keeps dropping pushes at INVALID).
+        rule(sp, C, U, E::UpdateDrop, {U});
+        rule(sp, C, S, E::UpdateDrop, {S});
+        rule(sp, C, BU, E::UpdateDrop, {BU});
+    }
+
+    std::vector<PEvent> ev = {E::ReqShared, E::ReqExcl, E::ReqUpgrade,
+                              E::UpdateWB};
+    if (adaptive)
+        ev.push_back(E::UpdateDrop);
+    sp.setRelevantEvents(C, std::move(ev));
+}
+
 } // namespace
 
 TransitionSpec
@@ -493,6 +627,41 @@ const TransitionSpec &
 protocolSpec()
 {
     static const TransitionSpec spec = buildProtocolSpec();
+    return spec;
+}
+
+TransitionSpec
+buildWriteUpdateSpec()
+{
+    TransitionSpec sp;
+    buildUpdateCacheRules(sp, /*adaptive=*/false);
+    buildUpdateDirRules(sp, /*adaptive=*/false);
+    // The producer table is never engaged: no states declared, so the
+    // lint passes have nothing to check there and the runtime observer
+    // never sees a producer frame.
+    return sp;
+}
+
+const TransitionSpec &
+writeUpdateSpec()
+{
+    static const TransitionSpec spec = buildWriteUpdateSpec();
+    return spec;
+}
+
+TransitionSpec
+buildAdaptiveHybridSpec()
+{
+    TransitionSpec sp;
+    buildUpdateCacheRules(sp, /*adaptive=*/true);
+    buildUpdateDirRules(sp, /*adaptive=*/true);
+    return sp;
+}
+
+const TransitionSpec &
+adaptiveHybridSpec()
+{
+    static const TransitionSpec spec = buildAdaptiveHybridSpec();
     return spec;
 }
 

@@ -83,8 +83,10 @@ enum class PEvent : std::uint8_t
     Undele,
     Update,
 
-    // Synthetic local events.
-    CpuLoad,           ///< processor load presented to the L2
+    // Synthetic local events. Pinned at 23..30: committed conformance
+    // documents embed the numeric codes, and the write-update message
+    // types continue the MsgType aliasing right after this block.
+    CpuLoad = 23,      ///< processor load presented to the L2
     CpuStore,          ///< processor store presented to the L2
     Evict,             ///< replacement victim leaves the array
     LocalDowngrade,    ///< producer downgrades its own M copy
@@ -93,11 +95,24 @@ enum class PEvent : std::uint8_t
     LocalWriteComplete,///< local write to a delegated line completed
     RacPressure,       ///< pinned RAC entry wants its slot back
 
+    // Message-delivery events again (values alias MsgType).
+    UpdGrant = 31,     ///< write permission + data from the home
+    UpdateWB,          ///< writer returns new data to the home
+    UpdateDrop,        ///< consumer leaves the update stream
+
     NumPEvents
 };
 
-static_assert(static_cast<unsigned>(PEvent::CpuLoad) ==
-                  static_cast<unsigned>(MsgType::NumMsgTypes),
+static_assert(static_cast<unsigned>(PEvent::Update) == 22 &&
+                  static_cast<unsigned>(PEvent::CpuLoad) == 23,
+              "the synthetic local-event block follows the original "
+              "message vocabulary");
+static_assert(static_cast<unsigned>(PEvent::UpdGrant) ==
+                      static_cast<unsigned>(MsgType::UpdGrant) &&
+                  static_cast<unsigned>(PEvent::UpdateDrop) ==
+                      static_cast<unsigned>(MsgType::UpdateDrop) &&
+                  static_cast<unsigned>(PEvent::NumPEvents) ==
+                      static_cast<unsigned>(MsgType::NumMsgTypes),
               "PEvent must alias MsgType exactly");
 
 /** The event corresponding to delivery of a message of type @p t. */
@@ -140,11 +155,11 @@ struct TransitionRule
     bool
     allowsSend(MsgType t) const
     {
-        return (sendMask & (1u << static_cast<unsigned>(t))) != 0;
+        return (sendMask & (1ull << static_cast<unsigned>(t))) != 0;
     }
 
     /** Bit per MsgType; maintained by TransitionSpec::add. */
-    std::uint32_t sendMask = 0;
+    std::uint64_t sendMask = 0;
 };
 
 /**
@@ -208,8 +223,17 @@ class TransitionSpec
     }
 
     /** The events a controller can observe at all (drives the
-     *  unhandled-pair lint pass). */
+     *  unhandled-pair lint pass). The static lists describe the
+     *  original MESI-dir+DELE stack. */
     static const std::vector<PEvent> &relevantEvents(Ctrl c);
+
+    /** Per-spec override of relevantEvents (policy specs observe a
+     *  different event vocabulary; see src/protocol/policy.hh). */
+    void setRelevantEvents(Ctrl c, std::vector<PEvent> events);
+
+    /** The relevant-event list lint uses for this spec: the override
+     *  when set, else the static default. */
+    const std::vector<PEvent> &relevant(Ctrl c) const;
 
   private:
     static constexpr unsigned kMaxStates = 16;
@@ -229,6 +253,8 @@ class TransitionSpec
 
     std::vector<TransitionRule> _rules;
     std::vector<ImpossibleEntry> _impossible;
+    /** Per-controller relevantEvents overrides (empty = default). */
+    std::vector<PEvent> _relevant[static_cast<unsigned>(Ctrl::NumCtrls)];
     std::vector<std::pair<StateId, std::string>>
         _states[static_cast<unsigned>(Ctrl::NumCtrls)];
     StateId _initial[static_cast<unsigned>(Ctrl::NumCtrls)] = {0, 0, 0};
@@ -243,6 +269,21 @@ TransitionSpec buildProtocolSpec();
 
 /** Shared immutable instance of buildProtocolSpec(). */
 const TransitionSpec &protocolSpec();
+
+/** Build the spec for the Dragon-style write-update policy: the dir
+ *  serializes write episodes through BUSY_UPD (UpdGrant/UpdateWB) and
+ *  caches only ever hold INVALID or SHARED lines. */
+TransitionSpec buildWriteUpdateSpec();
+
+/** Shared immutable instance of buildWriteUpdateSpec(). */
+const TransitionSpec &writeUpdateSpec();
+
+/** Build the spec for the per-line adaptive hybrid: the write-update
+ *  spec plus consumer self-invalidation (Update -> I + UpdateDrop). */
+TransitionSpec buildAdaptiveHybridSpec();
+
+/** Shared immutable instance of buildAdaptiveHybridSpec(). */
+const TransitionSpec &adaptiveHybridSpec();
 
 } // namespace pcsim::verify
 

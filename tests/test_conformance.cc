@@ -189,6 +189,39 @@ TEST(Conformance, ScopeSamplesAndOverridesPost)
     EXPECT_EQ(cov[0].next, 1u);
 }
 
+TEST(ConformanceDeathTest, WriteUpdateSeededViolationIsCaught)
+{
+    // Seed a defect into the write-update policy's spec: forget that
+    // a SHARED consumer can absorb an Update push. The observer must
+    // fail the run the moment a consumer handles one.
+    TransitionSpec spec = buildWriteUpdateSpec();
+    ASSERT_TRUE(spec.removeRule(
+        Ctrl::Cache, static_cast<StateId>(LineState::Shared),
+        PEvent::Update));
+    TransitionObserver obs(spec);
+    EXPECT_DEATH(obs.begin(Ctrl::Cache, 2, kLine,
+                           static_cast<StateId>(LineState::Shared),
+                           PEvent::Update),
+                 "conformance violation: no rule for this \\(state, "
+                 "event\\) pair");
+}
+
+TEST(ConformanceDeathTest, AdaptiveHybridSeededViolationIsCaught)
+{
+    // Seed a defect into the adaptive policy's spec: a consumer
+    // absorbing an Update may stay SHARED or self-invalidate, but
+    // sending anything other than UpdateDrop while doing so is a
+    // violation.
+    TransitionSpec spec = buildAdaptiveHybridSpec();
+    TransitionObserver obs(spec);
+    obs.begin(Ctrl::Cache, 2, kLine,
+              static_cast<StateId>(LineState::Shared), PEvent::Update);
+    obs.noteSend(msg(MsgType::UpdateDrop)); // allowed: no death
+    EXPECT_DEATH(obs.noteSend(msg(MsgType::ReqExcl)),
+                 "handler sent a message the spec does not allow");
+    obs.end(static_cast<StateId>(LineState::Invalid));
+}
+
 TEST(Conformance, FullRunAgainstShippedSpecExportsCoverage)
 {
     ProducerConsumerMicro wl(16);

@@ -137,12 +137,25 @@ TEST(ConfigValidate, RejectsDegenerateConfigs)
               std::string::npos);
 
     c = ProtocolConfig{};
-    c.delegationEnabled = true; // without a RAC
+    c.kind = ProtocolKind::Delegation; // without a RAC
     EXPECT_NE(c.validateError().find("RAC"), std::string::npos);
 
     c = ProtocolConfig{};
-    c.updatesEnabled = true; // without delegation
-    EXPECT_NE(c.validateError().find("delegation"), std::string::npos);
+    c.kind = ProtocolKind::WriteUpdate;
+    c.racEnabled = true; // update-based kinds reject the RAC
+    c.rac.sizeBytes = 32 * 1024;
+    EXPECT_NE(c.validateError().find("update-based"), std::string::npos);
+
+    c = ProtocolConfig{};
+    c.kind = ProtocolKind::NumProtocolKinds; // out of range
+    EXPECT_NE(c.validateError().find("unknown ProtocolKind"),
+              std::string::npos);
+
+    c = ProtocolConfig{};
+    c.kind = ProtocolKind::AdaptiveHybrid;
+    c.adaptiveThreshold = 0;
+    EXPECT_NE(c.validateError().find("adaptiveThreshold"),
+              std::string::npos);
 
     EXPECT_EQ(ProtocolConfig{}.validateError(), "");
 }

@@ -20,16 +20,18 @@ TEST(Presets, BaseMatchesTable1)
     EXPECT_EQ(m.proto.dram.accessLatency, 200u);
     EXPECT_EQ(m.net.hopLatency, 100u);
     EXPECT_FALSE(m.proto.racEnabled);
-    EXPECT_FALSE(m.proto.delegationEnabled);
-    EXPECT_FALSE(m.proto.updatesEnabled);
+    EXPECT_EQ(m.proto.kind, ProtocolKind::MesiDir);
+    EXPECT_FALSE(m.proto.delegationEnabled());
+    EXPECT_FALSE(m.proto.updatesEnabled());
 }
 
 TEST(Presets, SmallAndLargeConfigurations)
 {
     MachineConfig s = presets::small(16);
     EXPECT_TRUE(s.proto.racEnabled);
-    EXPECT_TRUE(s.proto.delegationEnabled);
-    EXPECT_TRUE(s.proto.updatesEnabled);
+    EXPECT_EQ(s.proto.kind, ProtocolKind::DelegationUpdates);
+    EXPECT_TRUE(s.proto.delegationEnabled());
+    EXPECT_TRUE(s.proto.updatesEnabled());
     EXPECT_EQ(s.proto.delegate.producerEntries, 32u);
     EXPECT_EQ(s.proto.rac.sizeBytes, 32u * 1024);
     EXPECT_EQ(s.proto.interventionDelay, 50u);
@@ -45,8 +47,8 @@ TEST(Presets, Figure7HasSixConfigsInPaperOrder)
     ASSERT_EQ(cfgs.size(), 6u);
     EXPECT_EQ(cfgs[0].name, "Base");
     EXPECT_EQ(cfgs[1].name, "32K RAC");
-    EXPECT_FALSE(cfgs[1].cfg.proto.delegationEnabled);
-    EXPECT_TRUE(cfgs[2].cfg.proto.updatesEnabled);
+    EXPECT_FALSE(cfgs[1].cfg.proto.delegationEnabled());
+    EXPECT_TRUE(cfgs[2].cfg.proto.updatesEnabled());
     EXPECT_EQ(cfgs[3].cfg.proto.delegate.producerEntries, 1024u);
     EXPECT_EQ(cfgs[4].cfg.proto.rac.sizeBytes, 32u * 1024);
     EXPECT_EQ(cfgs[5].cfg.proto.delegate.producerEntries, 32u);
@@ -55,15 +57,24 @@ TEST(Presets, Figure7HasSixConfigsInPaperOrder)
 TEST(SystemDeath, DelegationWithoutRacIsRejected)
 {
     MachineConfig m = presets::base(16);
-    m.proto.delegationEnabled = true;
+    m.proto.kind = ProtocolKind::Delegation;
     EXPECT_DEATH({ System sys(m); }, "RAC");
 }
 
-TEST(SystemDeath, UpdatesWithoutDelegationIsRejected)
+TEST(SystemDeath, UpdateBasedWithRacIsRejected)
 {
+    // The RAC speculatively caches data a consumer lost to an
+    // invalidation; update-based kinds never invalidate, so the
+    // combination is rejected as inconsistent.
     MachineConfig m = presets::racOnly(32 * 1024, 16);
-    m.proto.updatesEnabled = true;
-    EXPECT_DEATH({ System sys(m); }, "delegation");
+    m.proto.kind = ProtocolKind::WriteUpdate;
+    EXPECT_DEATH({ System sys(m); }, "update-based");
+}
+
+TEST(SystemDeath, ZeroAdaptiveThresholdIsRejected)
+{
+    MachineConfig m = presets::adaptiveHybrid(16, 0);
+    EXPECT_DEATH({ System sys(m); }, "adaptiveThreshold");
 }
 
 TEST(SystemDeath, WorkloadCpuMismatchIsFatal)
@@ -128,6 +139,11 @@ TEST(MessageNames, AllTypesHaveNames)
          t < static_cast<unsigned>(MsgType::NumMsgTypes); ++t) {
         const char *name = msgTypeName(static_cast<MsgType>(t));
         EXPECT_STRNE(name, "Unknown") << "type " << t;
+        // 23..30 are the reserved PEvent-alias gap (no wire type).
+        if (t >= 23 && t <= 30)
+            EXPECT_STREQ(name, "Reserved") << "type " << t;
+        else
+            EXPECT_STRNE(name, "Reserved") << "type " << t;
     }
 }
 
