@@ -32,7 +32,10 @@
 #include "src/runner/runner.hh"
 #include "src/runner/serve.hh"
 #include "src/runner/trace_cmd.hh"
+#include "src/trace/format.hh"
 #include "src/verify/lint.hh"
+#include "src/verify/liveness.hh"
+#include "src/verify/mdg.hh"
 #include "src/verify/spec.hh"
 
 using namespace pcsim;
@@ -69,7 +72,9 @@ const CommandInfo commandTable[] = {
      "simulation-kernel microbenchmarks"},
     {"faults", "[--scenario a,b] [--workload W] [options]",
      "fault-injection robustness sweep"},
-    {"lint", "[--no-mc] [--policy P] [--coverage results.json] [options]",
+    {"lint",
+     "[--liveness|--mdg] [--no-mc] [--policy P] "
+     "[--coverage results.json] [options]",
      "static checks of the protocol transition specs"},
     {"list", "", "list workloads and configuration presets"},
     {"help", "", "show this text"},
@@ -117,6 +122,20 @@ usage(std::FILE *out)
 "  --coverage PATH        report never-exercised legal transitions\n"
 "                         from a results JSON written by runs with\n"
 "                         --conformance\n"
+"  --mdg                  message-dependency-graph pass: derive the\n"
+"                         type-level dependence graph from the spec's\n"
+"                         allowed-sends sets and flag channel-class\n"
+"                         cycles, unprotected request forwards,\n"
+"                         undeliverable sends and per-rule channel-\n"
+"                         capacity violations (default policy: all)\n"
+"  --liveness             liveness pass: explore the src/mc model's\n"
+"                         state graph and flag livelock lassos (non-\n"
+"                         progress cycles under fairness) and hard\n"
+"                         deadlocks, with step-by-step witnesses\n"
+"                         (default policy: all)\n"
+"  --repro PATH           with --liveness: write the first witness's\n"
+"                         CPU-op schedule as a replayable PCTR trace\n"
+"  exit status: 0 clean, 1 usage/io error, 2 findings\n"
 "\n"
 "scale (node-count scaling sweep of base/delegation/delegate-update):\n"
 "  --nodes n,m            machine sizes (default: 16,32,64,128,256,\n"
@@ -222,6 +241,8 @@ struct Options
     bool lintMc = true;           ///< lint: run the model cross-check
     std::string lintPolicy;       ///< lint: policy spec name or "all"
     std::string coveragePath;     ///< lint: results doc for coverage
+    std::string lintMode;         ///< lint: "", "mdg" or "liveness"
+    std::string reproPath;        ///< lint --liveness: PCTR repro out
     unsigned threads = 0;
     bool threadsSet = false;
     /** --parallel-run shard count (1 = sequential oracle kernel). */
@@ -450,6 +471,15 @@ parseArgs(int argc, char **argv, Options &opt, int first = 2)
             if (!v)
                 return false;
             opt.coveragePath = v;
+        } else if (arg == "--mdg") {
+            opt.lintMode = "mdg";
+        } else if (arg == "--liveness") {
+            opt.lintMode = "liveness";
+        } else if (arg == "--repro") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.reproPath = v;
         } else if (arg == "--deterministic-check") {
             opt.deterministicCheck = true;
         } else if (arg == "--no-table") {
@@ -801,6 +831,37 @@ lintCoverage(const Options &opt)
     return io_ok ? 0 : 1;
 }
 
+/** Print one policy's lint report (the classic text rendering). */
+void
+printLintReport(const verify::TransitionSpec &spec,
+                const verify::LintReport &rep, const char *label)
+{
+    if (label)
+        std::printf("policy %s:\n", label);
+    std::printf("spec: %zu rules, %zu impossible pairs\n",
+                spec.rules().size(), spec.impossible().size());
+    if (rep.mcConfigs) {
+        std::printf("model cross-check: %llu configs, %llu states, "
+                    "%llu distinct transitions\n",
+                    (unsigned long long)rep.mcConfigs,
+                    (unsigned long long)rep.mcStates,
+                    (unsigned long long)rep.mcObserved);
+    }
+    for (const auto &f : rep.findings) {
+        std::string where = f.ctrl;
+        if (!f.state.empty())
+            where += " " + f.state;
+        if (!f.event.empty())
+            where += " x " + f.event;
+        std::printf("%s: %s: %s\n", f.kind.c_str(), where.c_str(),
+                    f.detail.c_str());
+    }
+    if (rep.clean())
+        std::printf("lint: clean\n");
+    else
+        std::printf("lint: %zu finding(s)\n", rep.findings.size());
+}
+
 /** Lint one policy's spec; prints the findings and the summary line
  *  (prefixed with the policy name when @p label is set). */
 int
@@ -819,35 +880,199 @@ lintOneSpec(const Options &opt, const verify::TransitionSpec &spec,
         io_ok &= runner::writeTextFile(opt.csvPath,
                                        verify::lintToCsv(rep));
 
-    if (opt.jsonPath != "-" && opt.csvPath != "-") {
-        if (label)
-            std::printf("policy %s:\n", label);
-        std::printf("spec: %zu rules, %zu impossible pairs\n",
-                    spec.rules().size(), spec.impossible().size());
-        if (rep.mcConfigs) {
-            std::printf("model cross-check: %llu configs, %llu states, "
-                        "%llu distinct transitions\n",
-                        (unsigned long long)rep.mcConfigs,
-                        (unsigned long long)rep.mcStates,
-                        (unsigned long long)rep.mcObserved);
-        }
-        for (const auto &f : rep.findings) {
-            std::string where = f.ctrl;
-            if (!f.state.empty())
-                where += " " + f.state;
-            if (!f.event.empty())
-                where += " x " + f.event;
-            std::printf("%s: %s: %s\n", f.kind.c_str(), where.c_str(),
-                        f.detail.c_str());
-        }
-        if (rep.clean())
-            std::printf("lint: clean\n");
-        else
-            std::printf("lint: %zu finding(s)\n", rep.findings.size());
-    }
+    if (opt.jsonPath != "-" && opt.csvPath != "-")
+        printLintReport(spec, rep, label);
     if (!io_ok)
         return 1;
     return rep.clean() ? 0 : 2;
+}
+
+/** One policy selected for a lint pass. */
+struct PolicySel
+{
+    std::string name;
+    const verify::TransitionSpec *spec;
+    verify::McCheckSet set;
+};
+
+/** Resolve --policy for the mdg/liveness passes ("" means all). */
+bool
+resolvePolicies(const std::string &which, std::vector<PolicySel> &out)
+{
+    if (which.empty() || which == "all") {
+        for (ProtocolKind kind : registeredPolicyKinds()) {
+            const CoherencePolicy &p = policyFor(kind);
+            out.push_back({p.name(), &p.spec(), modelCheckSetFor(kind)});
+        }
+        return true;
+    }
+    ProtocolKind kind;
+    if (!protocolKindFromName(which, kind)) {
+        std::fprintf(stderr,
+                     "pcsim lint: unknown policy '%s' (pick one of "
+                     "mesi-dir, delegation, delegation-updates, "
+                     "write-update, adaptive-hybrid, or 'all')\n",
+                     which.c_str());
+        return false;
+    }
+    const CoherencePolicy &p = policyFor(kind);
+    out.push_back({p.name(), &p.spec(), modelCheckSetFor(kind)});
+    return true;
+}
+
+int
+lintMdgCommand(const Options &opt)
+{
+    std::vector<PolicySel> sels;
+    if (!resolvePolicies(opt.lintPolicy, sels))
+        return 1;
+
+    JsonValue policies = JsonValue::array();
+    std::size_t total = 0;
+    for (const PolicySel &sel : sels) {
+        const verify::MdgReport rep = verify::analyzeMdg(*sel.spec);
+        policies.push(verify::mdgPolicyJson(sel.name, *sel.spec, rep));
+        if (opt.jsonPath != "-") {
+            std::printf("policy %s: %zu message types, %zu edges, "
+                        "%zu sinks (%llu requester-bound, %llu "
+                        "nack-protected edges exempt)\n",
+                        sel.name.c_str(), rep.messages.size(),
+                        rep.edges.size(), rep.sinks.size(),
+                        (unsigned long long)rep.reissueEdges,
+                        (unsigned long long)rep.nackProtectedEdges);
+            for (const auto &f : rep.findings) {
+                std::string where = f.ctrl;
+                if (!f.state.empty())
+                    where += " " + f.state;
+                if (!f.event.empty())
+                    where += (where.empty() ? "" : " x ") + f.event;
+                std::printf("%s: %s: %s\n", f.kind.c_str(),
+                            where.c_str(), f.detail.c_str());
+            }
+        }
+        total += rep.findings.size();
+    }
+
+    bool io_ok = true;
+    if (!opt.jsonPath.empty())
+        io_ok &= runner::writeTextFile(
+            opt.jsonPath,
+            verify::lintFindingsDocument("mdg", std::move(policies))
+                    .dump(2) +
+                "\n");
+    if (opt.jsonPath != "-") {
+        if (total)
+            std::printf("mdg: %zu finding(s)\n", total);
+        else
+            std::printf("mdg: clean\n");
+    }
+    if (!io_ok)
+        return 1;
+    return total ? 2 : 0;
+}
+
+/** Write the first witness carrying CPU ops as a PCTR repro trace. */
+bool
+writeLivenessRepro(const std::string &path, const std::string &config,
+                   unsigned nodes,
+                   const std::vector<verify::WitnessOp> &ops)
+{
+    std::vector<std::vector<MemOp>> per_node(nodes);
+    for (const verify::WitnessOp &op : ops)
+        per_node[op.node].push_back(op.isWrite ? MemOp::write(0)
+                                               : MemOp::read(0));
+    trace::TraceMeta meta;
+    meta.nodeCount = nodes;
+    meta.workload = "lint-liveness";
+    meta.config = config;
+    try {
+        trace::writeTraceFile(path, meta, per_node);
+    } catch (const trace::TraceError &e) {
+        std::fprintf(stderr, "pcsim lint: %s\n", e.what());
+        return false;
+    }
+    return true;
+}
+
+int
+lintLivenessCommand(const Options &opt)
+{
+    std::vector<PolicySel> sels;
+    if (!resolvePolicies(opt.lintPolicy, sels))
+        return 1;
+
+    JsonValue policies = JsonValue::array();
+    std::size_t total = 0;
+    bool io_ok = true;
+    bool wrote_repro = false;
+    for (const PolicySel &sel : sels) {
+        const verify::LivenessReport rep =
+            verify::analyzeLiveness(sel.set);
+        policies.push(verify::livenessPolicyJson(sel.name, rep));
+        if (opt.jsonPath != "-") {
+            std::printf("policy %s:\n", sel.name.c_str());
+            for (const auto &c : rep.configs) {
+                std::printf("  config %s: %llu states, %llu edges "
+                            "(%llu progress), %llu quiescent%s\n",
+                            c.name.c_str(),
+                            (unsigned long long)c.states,
+                            (unsigned long long)c.edges,
+                            (unsigned long long)c.progressEdges,
+                            (unsigned long long)c.quiescentStates,
+                            c.completed ? "" : " [state limit hit]");
+            }
+            for (const auto &f : rep.findings) {
+                std::printf("%s (%s): %s\n", f.kind.c_str(),
+                            f.config.c_str(), f.detail.c_str());
+                std::printf("  witness prefix (%zu steps):\n",
+                            f.witness.prefix.size());
+                for (std::size_t i = 0; i < f.witness.prefix.size();
+                     ++i)
+                    std::printf("    %3zu. %s\n", i + 1,
+                                f.witness.prefix[i].c_str());
+                if (!f.witness.cycle.empty()) {
+                    std::printf("  non-progress cycle (%zu steps):\n",
+                                f.witness.cycle.size());
+                    for (std::size_t i = 0;
+                         i < f.witness.cycle.size(); ++i)
+                        std::printf("    %3zu. %s\n", i + 1,
+                                    f.witness.cycle[i].c_str());
+                }
+            }
+        }
+        total += rep.findings.size();
+
+        if (!opt.reproPath.empty() && !wrote_repro) {
+            for (const auto &f : rep.findings) {
+                if (f.witness.ops.empty())
+                    continue;
+                io_ok &= writeLivenessRepro(opt.reproPath, f.config, 3,
+                                            f.witness.ops);
+                wrote_repro = true;
+                if (opt.jsonPath != "-")
+                    std::printf("repro trace written to %s\n",
+                                opt.reproPath.c_str());
+                break;
+            }
+        }
+    }
+
+    if (!opt.jsonPath.empty())
+        io_ok &= runner::writeTextFile(
+            opt.jsonPath,
+            verify::lintFindingsDocument("liveness",
+                                         std::move(policies))
+                    .dump(2) +
+                "\n");
+    if (opt.jsonPath != "-") {
+        if (total)
+            std::printf("liveness: %zu finding(s)\n", total);
+        else
+            std::printf("liveness: clean\n");
+    }
+    if (!io_ok)
+        return 1;
+    return total ? 2 : 0;
 }
 
 int
@@ -855,6 +1080,11 @@ lintCommand(const Options &opt)
 {
     if (!opt.coveragePath.empty())
         return lintCoverage(opt);
+
+    if (opt.lintMode == "mdg")
+        return lintMdgCommand(opt);
+    if (opt.lintMode == "liveness")
+        return lintLivenessCommand(opt);
 
     if (opt.lintPolicy.empty()) {
         // Historical default: the shipped full-protocol spec, checked
@@ -865,20 +1095,37 @@ lintCommand(const Options &opt)
     }
 
     if (opt.lintPolicy == "all") {
-        if (!opt.jsonPath.empty() || !opt.csvPath.empty()) {
+        if (!opt.csvPath.empty()) {
             std::fprintf(stderr,
                          "pcsim lint: --policy=all cannot combine "
-                         "with --json/--csv (lint one policy per "
-                         "document)\n");
+                         "with --csv (lint one policy per CSV)\n");
             return 1;
         }
+        // With --json the per-policy documents combine into one
+        // {"mode": "spec"} envelope; without it, print each policy.
+        JsonValue policies = JsonValue::array();
         int worst = 0;
         for (ProtocolKind kind : registeredPolicyKinds()) {
             const CoherencePolicy &p = policyFor(kind);
-            const int rc = lintOneSpec(opt, p.spec(),
-                                       modelCheckSetFor(kind),
-                                       p.name());
-            worst = std::max(worst, rc);
+            const verify::LintReport rep =
+                opt.lintMc ? verify::lintSpecWithModel(
+                                 p.spec(), modelCheckSetFor(kind))
+                           : verify::lintSpec(p.spec());
+            if (!opt.jsonPath.empty())
+                policies.push(
+                    verify::lintPolicyJson(p.name(), p.spec(), rep));
+            if (opt.jsonPath != "-")
+                printLintReport(p.spec(), rep, p.name());
+            worst = std::max(worst, rep.clean() ? 0 : 2);
+        }
+        if (!opt.jsonPath.empty()) {
+            if (!runner::writeTextFile(
+                    opt.jsonPath,
+                    verify::lintFindingsDocument("spec",
+                                                 std::move(policies))
+                            .dump(2) +
+                        "\n"))
+                return 1;
         }
         return worst;
     }

@@ -25,6 +25,7 @@
 #ifndef PCSIM_MC_EXPLORER_HH
 #define PCSIM_MC_EXPLORER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <stdexcept>
@@ -119,9 +120,15 @@ class Explorer
                               _model.describe(s));
             }
             if (succ.empty() && !_model.isQuiescent(s)) {
-                throw McError("deadlock: no enabled transition in "
-                              "non-quiescent state\n" +
-                              _model.describe(s));
+                std::string msg =
+                    "deadlock: no enabled transition in "
+                    "non-quiescent state\n" +
+                    _model.describe(s);
+                // Models may offer focused diagnostics (pending ops,
+                // per-channel occupancy) beyond the full state dump.
+                if constexpr (requires { _model.blockedSummary(s); })
+                    msg += "\n" + _model.blockedSummary(s);
+                throw McError(msg);
             }
             for (State &n : succ) {
                 ++res.transitionsTaken;
@@ -134,6 +141,126 @@ class Explorer
         }
         res.completed = true;
         return res;
+    }
+
+  private:
+    const Model &_model;
+    std::uint64_t _maxStates;
+};
+
+/**
+ * Breadth-first explorer that retains the full explored state graph
+ * for offline analyses (the liveness lint's fairness-constrained SCC
+ * pass). Unlike Explorer it *records* hard deadlocks instead of
+ * throwing -- callers turn them into findings with witnesses --
+ * while invariant violations still throw McError.
+ */
+template <typename Model>
+class GraphExplorer
+{
+  public:
+    using State = typename Model::State;
+
+    struct Graph
+    {
+        /** Discovered states in BFS order; index 0 is the initial
+         *  state and indices double as state ids. */
+        std::vector<State> states;
+        /** Forward adjacency, deduplicated, discovery order. */
+        std::vector<std::vector<std::uint32_t>> succ;
+        /** BFS tree parent (parent[0] == 0): a shortest path from the
+         *  initial state to any id follows parents backwards. */
+        std::vector<std::uint32_t> parent;
+        std::vector<bool> quiescent;
+        /** Non-quiescent states with no enabled transition. */
+        std::vector<std::uint32_t> deadlocks;
+        std::uint64_t transitionsTaken = 0;
+        bool completed = false; ///< false if the state limit was hit
+    };
+
+    explicit GraphExplorer(const Model &model,
+                           std::uint64_t max_states = 5'000'000)
+        : _model(model), _maxStates(max_states)
+    {
+    }
+
+    /** Explore and return the graph. @throws McError on an invariant
+     *  violation (but not on deadlock -- see Graph::deadlocks). */
+    Graph
+    run()
+    {
+        Graph g;
+        std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
+            visited;
+
+        auto idOf = [&](const State &s, bool &fresh) {
+            auto &bucket = visited[_model.hash(s)];
+            for (std::uint32_t id : bucket) {
+                if (_model.equal(s, g.states[id])) {
+                    fresh = false;
+                    return id;
+                }
+            }
+            fresh = true;
+            const auto id = static_cast<std::uint32_t>(g.states.size());
+            bucket.push_back(id);
+            g.states.push_back(s);
+            g.succ.emplace_back();
+            g.parent.push_back(id);
+            g.quiescent.push_back(_model.isQuiescent(s));
+            return id;
+        };
+
+        auto check = [this](const State &st) {
+            try {
+                _model.checkInvariants(st);
+            } catch (const McError &e) {
+                throw McError(std::string(e.what()) + "\nin state:\n" +
+                              _model.describe(st));
+            }
+        };
+
+        bool fresh = false;
+        State init = _model.initial();
+        check(init);
+        std::deque<std::uint32_t> frontier{idOf(init, fresh)};
+
+        std::vector<State> succ;
+        while (!frontier.empty()) {
+            if (g.states.size() > _maxStates)
+                return g; // bounded run: completed stays false
+
+            const std::uint32_t id = frontier.front();
+            frontier.pop_front();
+            // Copy: expanding may grow (reallocate) g.states.
+            const State s = g.states[id];
+
+            succ.clear();
+            try {
+                _model.transitions(s, succ);
+            } catch (const McError &e) {
+                throw McError(std::string(e.what()) +
+                              "\nwhile expanding state:\n" +
+                              _model.describe(s));
+            }
+            if (succ.empty() && !g.quiescent[id])
+                g.deadlocks.push_back(id);
+            for (State &n : succ) {
+                ++g.transitionsTaken;
+                check(n);
+                const std::uint32_t nid = idOf(n, fresh);
+                if (fresh) {
+                    g.parent[nid] = id;
+                    frontier.push_back(nid);
+                }
+                auto &out = g.succ[id];
+                if (std::find(out.begin(), out.end(), nid) ==
+                    out.end())
+                    out.push_back(nid);
+            }
+        }
+        g.completed = true;
+        return g;
     }
 
   private:

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The abstract model's message vocabulary, split out of
+ * protocol_model.hh so the verify layer can map it onto the spec's
+ * PEvent vocabulary (src/verify/spec.hh) without pulling in the whole
+ * explorer. MType is a renamed subset of net/message.hh MsgType; the
+ * single authoritative MType -> PEvent correspondence lives in
+ * spec.hh (`eventOfMc`) and is static_asserted exhaustive there, so a
+ * new message type cannot silently diverge between the two tables.
+ */
+
+#ifndef PCSIM_MC_MTYPE_HH
+#define PCSIM_MC_MTYPE_HH
+
+#include <cstdint>
+
+namespace pcsim
+{
+namespace mc
+{
+
+/** Abstract message types (a subset of net/message.hh). */
+enum class MType : std::uint8_t
+{
+    ReqS,
+    ReqX,       ///< covers both ReqExcl and ReqUpgrade
+    RespS,
+    RespX,      ///< data + ack count
+    Inval,
+    InvalAck,
+    IntervDown,
+    IntervXfer,
+    SharedResp,
+    Shwb,
+    XferResp,
+    XferAck,
+    IntervNack,
+    Nack,
+    NackNotHome,
+    Delegate,
+    Undele,
+    Update,
+    UpdGrant, ///< write-update: permission + data from the home
+    UpdateWB, ///< write-update: writer returns the new data
+    UpdDrop,  ///< adaptive hybrid: consumer leaves the update stream
+    NumMTypes
+};
+
+/** Display name of @p t ("ReqS", "UpdGrant", ...). */
+const char *mtypeName(MType t);
+
+} // namespace mc
+} // namespace pcsim
+
+#endif // PCSIM_MC_MTYPE_HH

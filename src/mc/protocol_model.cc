@@ -32,6 +32,36 @@ prodStateOf(const ProtocolModel::State &s, unsigned n)
 
 } // namespace
 
+const char *
+mtypeName(MType t)
+{
+    switch (t) {
+      case MType::ReqS: return "ReqS";
+      case MType::ReqX: return "ReqX";
+      case MType::RespS: return "RespS";
+      case MType::RespX: return "RespX";
+      case MType::Inval: return "Inval";
+      case MType::InvalAck: return "InvalAck";
+      case MType::IntervDown: return "IntervDown";
+      case MType::IntervXfer: return "IntervXfer";
+      case MType::SharedResp: return "SharedResp";
+      case MType::Shwb: return "Shwb";
+      case MType::XferResp: return "XferResp";
+      case MType::XferAck: return "XferAck";
+      case MType::IntervNack: return "IntervNack";
+      case MType::Nack: return "Nack";
+      case MType::NackNotHome: return "NackNotHome";
+      case MType::Delegate: return "Delegate";
+      case MType::Undele: return "Undele";
+      case MType::Update: return "Update";
+      case MType::UpdGrant: return "UpdGrant";
+      case MType::UpdateWB: return "UpdateWB";
+      case MType::UpdDrop: return "UpdDrop";
+      case MType::NumMTypes: break;
+    }
+    return "?";
+}
+
 bool
 ProtocolModel::State::operator==(const State &o) const
 {
@@ -723,6 +753,13 @@ ProtocolModel::applyAtHome(State t, unsigned src, const MMsg &m,
       case MType::UpdateWB: {
         if (t.dir != DState::BusyUpd || t.pendReq != m.requester)
             throw McError("UpdateWB outside an open BusyUpd episode");
+        if (_cfg.defectStallUpdateWB) {
+            // Seeded liveness defect: swallow the writeback without
+            // closing the episode; the directory stays BusyUpd and
+            // NACKs every later request forever.
+            out.push_back(std::move(t));
+            break;
+        }
         t.memV = m.version;
         // Refresh every other sharer in place, then list the writer.
         const std::uint8_t targets = t.sharers & ~(1u << m.requester);
@@ -1304,7 +1341,7 @@ ProtocolModel::describe(const State &s) const
             for (unsigned i = 0; i < s.chanLen[a][b]; ++i) {
                 const MMsg &m = s.chan[a][b][i];
                 os << "  msg " << a << "->" << b << " type="
-                   << static_cast<int>(m.type)
+                   << mtypeName(m.type)
                    << " req=" << int(m.requester) << " v="
                    << int(m.version) << " acks=" << int(m.acks)
                    << " seq=" << int(m.seq) << "\n";
@@ -1321,6 +1358,52 @@ ProtocolModel::describe(const State &s) const
     for (unsigned n = 0; n < _cfg.nodes; ++n)
         os << int(s.mshrSeq[n]) << (n + 1 < _cfg.nodes ? "," : "");
     os << "] intervPending=" << int(s.intervPending);
+    return os.str();
+}
+
+std::string
+ProtocolModel::blockedSummary(const State &s) const
+{
+    std::ostringstream os;
+    os << "pending ops:";
+    bool any = false;
+    for (unsigned n = 0; n < _cfg.nodes; ++n) {
+        if (!s.mshr[n])
+            continue;
+        any = true;
+        os << " node" << n
+           << (s.mshr[n] == 1 ? " read" : " write") << "(seq "
+           << int(s.mshrSeq[n]);
+        if (s.mshr[n] == 2 && s.mshrAcksNeed[n] >= 0) {
+            os << ", acks " << int(s.mshrAcksGot[n]) << "/"
+               << int(s.mshrAcksNeed[n]);
+        }
+        os << ")";
+    }
+    if (!any)
+        os << " none";
+    os << "; budgets: writesLeft=" << int(s.writesLeft)
+       << " readsLeft=[";
+    for (unsigned n = 0; n < _cfg.nodes; ++n)
+        os << int(s.readsLeft[n]) << (n + 1 < _cfg.nodes ? "," : "");
+    os << "]\nchannel occupancy:";
+    any = false;
+    for (unsigned a = 0; a < _cfg.nodes; ++a) {
+        for (unsigned b = 0; b < _cfg.nodes; ++b) {
+            if (!s.chanLen[a][b])
+                continue;
+            any = true;
+            os << "\n  " << a << "->" << b << ": "
+               << int(s.chanLen[a][b]) << "/" << chanDepth << " [";
+            for (unsigned i = 0; i < s.chanLen[a][b]; ++i) {
+                os << mtypeName(s.chan[a][b][i].type)
+                   << (i + 1 < s.chanLen[a][b] ? ", " : "");
+            }
+            os << "]";
+        }
+    }
+    if (!any)
+        os << " all channels empty";
     return os.str();
 }
 

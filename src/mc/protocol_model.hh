@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/mc/explorer.hh"
+#include "src/mc/mtype.hh"
 
 namespace pcsim
 {
@@ -53,32 +54,6 @@ enum class DState : std::uint8_t
     BusyE,
     Dele,
     BusyUpd, ///< write-update episode open (value matches DirState)
-};
-
-/** Abstract message types (a subset of net/message.hh). */
-enum class MType : std::uint8_t
-{
-    ReqS,
-    ReqX,       ///< covers both ReqExcl and ReqUpgrade
-    RespS,
-    RespX,      ///< data + ack count
-    Inval,
-    InvalAck,
-    IntervDown,
-    IntervXfer,
-    SharedResp,
-    Shwb,
-    XferResp,
-    XferAck,
-    IntervNack,
-    Nack,
-    NackNotHome,
-    Delegate,
-    Undele,
-    Update,
-    UpdGrant, ///< write-update: permission + data from the home
-    UpdateWB, ///< write-update: writer returns the new data
-    UpdDrop,  ///< adaptive hybrid: consumer leaves the update stream
 };
 
 /** An abstract in-flight message. */
@@ -124,6 +99,12 @@ struct ModelConfig
      *  push may nondeterministically self-invalidate and UpdDrop,
      *  which over-approximates the stale-update counter. */
     bool adaptive = false;
+    /** Seeded defect for the liveness lint's golden tests: the home
+     *  consumes UpdateWB without closing the BusyUpd episode, so every
+     *  later request NACKs forever -- a non-progress retry loop the
+     *  fairness-constrained SCC analysis must flag. Never set by any
+     *  registered policy's check set. */
+    bool defectStallUpdateWB = false;
 };
 
 /**
@@ -215,6 +196,10 @@ class ProtocolModel
     void checkInvariants(const State &s) const;
     bool isQuiescent(const State &s) const;
     std::string describe(const State &s) const;
+    /** Focused deadlock diagnostics: the blocked state's pending-op
+     *  set and per-channel occupancy (src->dst fill/depth plus the
+     *  queued message types), appended to Explorer deadlock errors. */
+    std::string blockedSummary(const State &s) const;
     std::uint64_t hash(const State &s) const;
     bool equal(const State &a, const State &b) const { return a == b; }
 

@@ -20,7 +20,9 @@
 #define PCSIM_MC_SCHEDULE_EXPLORER_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "src/system/system.hh"
@@ -116,25 +118,55 @@ class ScheduleExplorer
                 sys.memMap().homeOf(op.addr, 0);
         }
 
+        // Track each injected op individually so a deadlocked
+        // schedule names exactly which operations hung.
+        struct Pending
+        {
+            unsigned cpu;
+            std::size_t index; ///< position within the CPU's stream
+            SchedOp op;
+            bool done;
+        };
+        std::vector<Pending> pending;
+        pending.reserve(schedule.size());
+
         std::vector<std::size_t> next(_ops.size(), 0);
         unsigned outstanding = 0;
         Tick when = 0;
         for (unsigned cpu : schedule) {
-            const SchedOp &op = _ops[cpu][next[cpu]++];
+            const std::size_t index = next[cpu]++;
+            const SchedOp &op = _ops[cpu][index];
+            pending.push_back({cpu, index, op, false});
+            const std::size_t slot = pending.size() - 1;
             ++outstanding;
-            eq.schedule(when, [&sys, &outstanding, cpu, op]() {
-                sys.hub(cpu).cpuAccess(op.isWrite, op.addr,
-                                       [&outstanding](Version) {
-                                           --outstanding;
-                                       });
+            eq.schedule(when, [&sys, &outstanding, &pending, slot,
+                               cpu, op]() {
+                sys.hub(cpu).cpuAccess(
+                    op.isWrite, op.addr,
+                    [&outstanding, &pending, slot](Version) {
+                        --outstanding;
+                        pending[slot].done = true;
+                    });
             });
             when += stagger;
         }
         eq.run();
         if (outstanding != 0) {
-            throw std::runtime_error(
+            std::string msg =
                 "deadlock: " + std::to_string(outstanding) +
-                " operations never completed");
+                " operation(s) never completed (stagger " +
+                std::to_string(stagger) + "):";
+            for (const Pending &p : pending) {
+                if (p.done)
+                    continue;
+                char addr[32];
+                std::snprintf(addr, sizeof(addr), "0x%llx",
+                              (unsigned long long)p.op.addr);
+                msg += "\n  cpu " + std::to_string(p.cpu) + " op#" +
+                       std::to_string(p.index) +
+                       (p.op.isWrite ? " write " : " read ") + addr;
+            }
+            throw std::runtime_error(msg);
         }
         sys.checker().checkQuiescent([&sys](Addr line) {
             return sys.memMap().homeOf(line);

@@ -8,6 +8,7 @@
 
 #include "src/mc/explorer.hh"
 #include "src/mc/protocol_model.hh"
+#include "src/verify/liveness.hh"
 
 namespace pcsim::verify
 {
@@ -134,127 +135,15 @@ class TupleCollector : public mc::TransitionListener
     std::set<std::uint32_t> _seen;
 };
 
-/** Abstract-model state -> spec StateId. CState M is index 2 but
- *  LineState::Modified is 3; DState and producer states are
- *  value-identical. */
-bool
-mapMcState(unsigned ctrl, unsigned st, StateId &out)
-{
-    if (ctrl == 0) {
-        switch (st) {
-          case 0: out = 0; return true; // I  -> Invalid
-          case 1: out = 1; return true; // S  -> Shared
-          case 2: out = 3; return true; // M  -> Modified
-          default: return false;
-        }
-    }
-    out = static_cast<StateId>(st);
-    return true;
-}
-
-bool
-mapMcEvent(unsigned ev, PEvent &out)
-{
-    using mc::MType;
-    using mc::TransitionListener;
-    switch (ev) {
-      case TransitionListener::evLocalDowngrade:
-        out = PEvent::LocalDowngrade;
-        return true;
-      case TransitionListener::evDelayedInterv:
-        out = PEvent::DelayedInterv;
-        return true;
-      case TransitionListener::evCpuLoad:
-        out = PEvent::CpuLoad;
-        return true;
-      case TransitionListener::evCpuStore:
-        out = PEvent::CpuStore;
-        return true;
-      default:
-        break;
-    }
-    switch (static_cast<MType>(ev)) {
-      case MType::ReqS: out = PEvent::ReqShared; return true;
-      case MType::ReqX: out = PEvent::ReqExcl; return true;
-      case MType::RespS: out = PEvent::RespSharedData; return true;
-      case MType::RespX: out = PEvent::RespExclData; return true;
-      case MType::Inval: out = PEvent::Inval; return true;
-      case MType::InvalAck: out = PEvent::InvalAck; return true;
-      case MType::IntervDown: out = PEvent::IntervDowngrade; return true;
-      case MType::IntervXfer: out = PEvent::IntervTransfer; return true;
-      case MType::SharedResp: out = PEvent::SharedResp; return true;
-      case MType::Shwb: out = PEvent::SharedWriteback; return true;
-      case MType::XferResp: out = PEvent::ExclResp; return true;
-      case MType::XferAck: out = PEvent::TransferAck; return true;
-      case MType::IntervNack: out = PEvent::IntervNack; return true;
-      case MType::Nack: out = PEvent::Nack; return true;
-      case MType::NackNotHome: out = PEvent::NackNotHome; return true;
-      case MType::Delegate: out = PEvent::Delegate; return true;
-      case MType::Undele: out = PEvent::Undele; return true;
-      case MType::Update: out = PEvent::Update; return true;
-      case MType::UpdGrant: out = PEvent::UpdGrant; return true;
-      case MType::UpdateWB: out = PEvent::UpdateWB; return true;
-      case MType::UpdDrop: out = PEvent::UpdateDrop; return true;
-      default: return false;
-    }
-}
-
 void
 lintModelCrossCheck(const TransitionSpec &spec, McCheckSet set,
                     LintReport &r)
 {
-    struct McConfig
-    {
-        const char *name;
-        bool delegation;
-        bool updates;
-        bool writeUpdate;
-        bool adaptive;
-    };
-    // 3-node abstraction, one mechanism at a time (matching how the
-    // model is verified in tests); read budget 1 keeps each
-    // exploration exhaustive and fast.
-    static const McConfig kMesiDele[] = {
-        {"base", false, false, false, false},
-        {"delegation", true, false, false, false},
-        {"delegation+updates", true, true, false, false},
-    };
-    static const McConfig kWriteUpdate[] = {
-        {"write-update", false, false, true, false},
-    };
-    static const McConfig kAdaptive[] = {
-        {"write-update", false, false, true, false},
-        {"adaptive-hybrid", false, false, true, true},
-    };
-
-    const McConfig *configs = kMesiDele;
-    std::size_t num_configs = std::size(kMesiDele);
-    switch (set) {
-      case McCheckSet::MesiDele:
-        break;
-      case McCheckSet::WriteUpdate:
-        configs = kWriteUpdate;
-        num_configs = std::size(kWriteUpdate);
-        break;
-      case McCheckSet::AdaptiveHybrid:
-        configs = kAdaptive;
-        num_configs = std::size(kAdaptive);
-        break;
-    }
-
+    // The configuration family is shared with the liveness pass (see
+    // src/verify/liveness.hh) so both verify the same models.
     std::map<std::uint32_t, std::string> observed; // tuple -> config
-    for (std::size_t ci = 0; ci < num_configs; ++ci) {
-        const McConfig &mcfg = configs[ci];
-        mc::ModelConfig cfg;
-        cfg.nodes = 3;
-        cfg.maxWrites = 2;
-        cfg.maxReads = 1;
-        cfg.delegation = mcfg.delegation;
-        cfg.updates = mcfg.updates;
-        cfg.writeUpdate = mcfg.writeUpdate;
-        cfg.adaptive = mcfg.adaptive;
-
-        mc::ProtocolModel model(cfg);
+    for (const NamedModelConfig &mcfg : modelConfigsFor(set)) {
+        mc::ProtocolModel model(mcfg.cfg);
         TupleCollector collector;
         model.setListener(&collector);
         Explorer<mc::ProtocolModel> explorer(model);
@@ -387,8 +276,15 @@ lintToJson(const TransitionSpec &spec, const LintReport &r)
         doc["model"] = std::move(model);
     }
 
+    doc["findings"] = lintFindingsJson(r.findings);
+    return doc;
+}
+
+JsonValue
+lintFindingsJson(const std::vector<LintFinding> &findings)
+{
     JsonValue arr = JsonValue::array();
-    for (const LintFinding &f : r.findings) {
+    for (const LintFinding &f : findings) {
         JsonValue e = JsonValue::object();
         e["kind"] = JsonValue(f.kind);
         e["controller"] = JsonValue(f.ctrl);
@@ -397,7 +293,33 @@ lintToJson(const TransitionSpec &spec, const LintReport &r)
         e["detail"] = JsonValue(f.detail);
         arr.push(std::move(e));
     }
-    doc["findings"] = std::move(arr);
+    return arr;
+}
+
+JsonValue
+lintPolicyJson(const std::string &policy, const TransitionSpec &spec,
+               const LintReport &r)
+{
+    // Reuse lintToJson so the fragment cannot drift from the classic
+    // single-policy document; only the envelope keys differ.
+    const JsonValue full = lintToJson(spec, r);
+    JsonValue doc = JsonValue::object();
+    doc["policy"] = JsonValue(policy);
+    for (const auto &[key, value] : full.members()) {
+        if (key != "schemaVersion" && key != "generator")
+            doc[key] = value;
+    }
+    return doc;
+}
+
+JsonValue
+lintFindingsDocument(const std::string &mode, JsonValue policies)
+{
+    JsonValue doc = JsonValue::object();
+    doc["schemaVersion"] = JsonValue(std::uint64_t(1));
+    doc["generator"] = JsonValue("pcsim-lint");
+    doc["mode"] = JsonValue(mode);
+    doc["policies"] = std::move(policies);
     return doc;
 }
 

@@ -82,6 +82,25 @@ LintReport lintSpecWithModel(const TransitionSpec &spec,
 JsonValue lintToJson(const TransitionSpec &spec, const LintReport &r);
 std::string lintToCsv(const LintReport &r);
 
+/** Findings serialized as the JSON array every lint mode shares
+ *  ({"kind", "controller", "state", "event", "detail"} objects). */
+JsonValue lintFindingsJson(const std::vector<LintFinding> &findings);
+
+/** lintToJson's body as a per-policy fragment ({"policy": name,
+ *  "spec", "model"?, "findings"}) for the combined --policy=all
+ *  document. */
+JsonValue lintPolicyJson(const std::string &policy,
+                         const TransitionSpec &spec,
+                         const LintReport &r);
+
+/** Wrap per-policy fragments into the combined multi-policy document:
+ *  {"schemaVersion": 1, "generator": "pcsim-lint", "mode": mode,
+ *   "policies": [...]}. Used by `pcsim lint --json` for --policy=all
+ *  and for the liveness / mdg modes (the classic single-policy
+ *  document keeps its historical lintToJson shape). */
+JsonValue lintFindingsDocument(const std::string &mode,
+                               JsonValue policies);
+
 /** One legal spec transition with its observed exercise count. */
 struct CoverageRow
 {
