@@ -70,8 +70,10 @@ const CommandInfo commandTable[] = {
     {"trace info", "FILE", "print a trace file's header"},
     {"bench", "[--json PATH] [--baseline PATH] [options]",
      "simulation-kernel microbenchmarks"},
-    {"faults", "[--scenario a,b] [--workload W] [options]",
+    {"faults", "[--scenario a,b] [--arbitration a,b] [options]",
      "fault-injection robustness sweep"},
+    {"qos", "[--scenario a,b] [--arbitration a,b] [options]",
+     "fairness bake-off of the directory arbitration modes"},
     {"lint",
      "[--liveness|--mdg] [--no-mc] [--policy P] "
      "[--coverage results.json] [options]",
@@ -152,7 +154,16 @@ usage(std::FILE *out)
 "  --scenario a,b         fault scenarios (default: all): gray-links,\n"
 "                         ni-stalls, hotspot, dir-pressure, storm\n"
 "  --workload W           workload per point (default: PCmicro)\n"
+"  --arbitration a,b      directory arbitration modes to cross with\n"
+"                         the scenarios (default: nack-retry):\n"
+"                         nack-retry, queue, aged-priority\n"
 "  default --json is BENCH_faults.json\n"
+"\n"
+"qos (fairness bake-off; the faults sweep restricted to the\n"
+"contention scenarios and crossed with every arbitration mode):\n"
+"  --scenario a,b         scenarios (default: storm,hotspot)\n"
+"  --arbitration a,b      modes (default: all three)\n"
+"  default --json is BENCH_qos.json\n"
 "\n"
 "serve (serving sweep of base/delegation/delegate-update):\n"
 "  --scenario a,b         scenarios (default: all): KVServe,\n"
@@ -257,6 +268,8 @@ struct Options
     int figure = 0;   ///< 7, 9 or 10
     int tableNum = 0; ///< 2
     std::vector<std::string> scenarioList; ///< faults: scenario names
+    /** faults/qos: arbitration mode names to cross in. */
+    std::vector<std::string> arbitrationList;
 
     // bench / scale
     std::uint64_t benchEvents = 2000000;
@@ -421,6 +434,12 @@ parseArgs(int argc, char **argv, Options &opt, int first = 2)
             if (!v)
                 return false;
             opt.scenarioList = splitList(v);
+        } else if (arg == "--arbitration" ||
+                   arg == "--arbitrations") {
+            const char *v = value();
+            if (!v)
+                return false;
+            opt.arbitrationList = splitList(v);
         } else if (arg == "--events") {
             const char *v = value();
             if (!v)
@@ -1308,12 +1327,12 @@ main(int argc, char **argv)
         sopt.parallelShards = opt.parallelShards;
         return runner::runScaleSweep(sopt);
     }
-    if (cmd == "faults") {
+    if (cmd == "faults" || cmd == "qos") {
         runner::FaultsOptions fopt;
         if (!opt.workloads.empty()) {
             if (opt.workloads.size() > 1) {
-                std::fprintf(stderr, "pcsim faults: one workload "
-                                     "only\n");
+                std::fprintf(stderr, "pcsim %s: one workload only\n",
+                             cmd.c_str());
                 return 1;
             }
             const std::string canonical =
@@ -1329,10 +1348,22 @@ main(int argc, char **argv)
             fopt.scale = opt.scale;
         fopt.nodes = opt.nodes;
         fopt.scenarios = opt.scenarioList;
+        fopt.arbitrations = opt.arbitrationList;
+        if (cmd == "qos") {
+            // The fairness bake-off: contention scenarios crossed
+            // with every arbitration mode (BENCH_qos.json).
+            if (fopt.scenarios.empty())
+                fopt.scenarios = {"storm", "hotspot"};
+            if (fopt.arbitrations.empty())
+                fopt.arbitrations = {"nack-retry", "queue",
+                                     "aged-priority"};
+        }
         fopt.seed = opt.seeds.front();
         fopt.threads = opt.threadsSet ? opt.threads : 0;
+        const char *default_json =
+            cmd == "qos" ? "BENCH_qos.json" : "BENCH_faults.json";
         fopt.jsonPath =
-            opt.jsonPath.empty() ? "BENCH_faults.json" : opt.jsonPath;
+            opt.jsonPath.empty() ? default_json : opt.jsonPath;
         fopt.csvPath = opt.csvPath;
         fopt.quiet = opt.quiet;
         fopt.deterministicCheck = opt.deterministicCheck;

@@ -80,6 +80,12 @@ ProtocolModel::State::operator==(const State &o) const
         prodIsExcl != o.prodIsExcl || prodSharers != o.prodSharers ||
         prodV != o.prodV || intervPending != o.intervPending)
         return false;
+    if (parkedType != o.parkedType || parkedReq != o.parkedReq ||
+        parkedSeq != o.parkedSeq ||
+        prodParkedType != o.prodParkedType ||
+        prodParkedReq != o.prodParkedReq ||
+        prodParkedSeq != o.prodParkedSeq)
+        return false;
     if (racMask != o.racMask || racV != o.racV ||
         writesLeft != o.writesLeft || curV != o.curV ||
         tombV != o.tombV || fillInval != o.fillInval ||
@@ -137,6 +143,11 @@ ProtocolModel::hash(const State &s) const
         (std::uint64_t(s.racMask) << 32) |
         (std::uint64_t(s.writesLeft) << 40) |
         (std::uint64_t(s.curV) << 48));
+    mix(s.parkedType | (std::uint64_t(s.parkedReq) << 4) |
+        (std::uint64_t(s.parkedSeq) << 8) |
+        (std::uint64_t(s.prodParkedType) << 12) |
+        (std::uint64_t(s.prodParkedReq) << 16) |
+        (std::uint64_t(s.prodParkedSeq) << 20));
     for (unsigned a = 0; a < _cfg.nodes; ++a) {
         for (unsigned b = 0; b < _cfg.nodes; ++b) {
             mix(s.chanLen[a][b]);
@@ -282,10 +293,26 @@ ProtocolModel::undelegate(State &s, unsigned p, std::uint8_t pend_req,
     }
     if (s.chanLen[p][_cfg.home] >= chanDepth)
         return false; // cannot hand off now: transition disabled
+    // A parked request cannot survive the handoff: bounce it with
+    // NackNotHome (the implementation's undelegate() queue flush) so
+    // the requester re-targets the true home. Both sends must have
+    // room before anything mutates.
+    if (s.prodParkedType &&
+        s.chanLen[p][s.prodParkedReq] >= chanDepth)
+        return false;
     s.prodValid = 0;
     s.prodNode = none;
     s.intervPending = 0;
     send(s, p, _cfg.home, und);
+    if (s.prodParkedType) {
+        MMsg nk;
+        nk.type = MType::NackNotHome;
+        nk.seq = s.prodParkedSeq;
+        send(s, p, s.prodParkedReq, nk);
+        s.prodParkedType = 0;
+        s.prodParkedReq = none;
+        s.prodParkedSeq = 0;
+    }
     return true;
 }
 
@@ -450,6 +477,40 @@ ProtocolModel::transitions(const State &s,
         }
     }
 
+    // --- Parked-request drains (homeQueue) ---------------------------
+    // Spontaneous re-injection of a parked request once the blocking
+    // episode has closed (the implementation drains on episode
+    // completion; here the enabling condition stands in for that
+    // event). Not reported to the listener: a drain replays a request
+    // the spec already covers at its original delivery.
+    if (_cfg.homeQueue && s.parkedType && s.dir != DState::BusyR &&
+        s.dir != DState::BusyE && s.dir != DState::BusyUpd) {
+        State t = s;
+        MMsg req;
+        req.type = t.parkedType == 1 ? MType::ReqS : MType::ReqX;
+        req.requester = t.parkedReq;
+        req.seq = t.parkedSeq;
+        t.parkedType = 0;
+        t.parkedReq = 0xf;
+        t.parkedSeq = 0;
+        applyAtHome(std::move(t), req.requester, req, out);
+    }
+    if (_cfg.homeQueue && s.prodValid && s.prodParkedType &&
+        !s.mshr[s.prodNode] &&
+        !(s.prodParkedType == 1 && s.prodIsExcl && _cfg.updates &&
+          s.intervPending)) {
+        State t = s;
+        MMsg req;
+        req.type = t.prodParkedType == 1 ? MType::ReqS : MType::ReqX;
+        req.requester = t.prodParkedReq;
+        req.seq = t.prodParkedSeq;
+        t.prodParkedType = 0;
+        t.prodParkedReq = 0xf;
+        t.prodParkedSeq = 0;
+        applyAtNode(std::move(t), s.prodNode, req.requester, req,
+                    out);
+    }
+
     // --- Message deliveries ------------------------------------------
     for (unsigned src = 0; src < _cfg.nodes; ++src) {
         for (unsigned dst = 0; dst < _cfg.nodes; ++dst) {
@@ -566,6 +627,18 @@ ProtocolModel::applyAtHome(State t, unsigned src, const MMsg &m,
         n.seq = m.seq;
         return send(st, home, to, n);
     };
+    // Busy-state arbitration: under homeQueue a request parks in the
+    // free slot instead of NACKing; an occupied slot (queue overflow)
+    // falls back to the NACK, like the implementation's depth cap.
+    auto nackOrPark = [&](State &st, unsigned to, bool is_write) {
+        if (_cfg.homeQueue && st.parkedType == 0) {
+            st.parkedType = is_write ? 2 : 1;
+            st.parkedReq = static_cast<std::uint8_t>(to);
+            st.parkedSeq = m.seq;
+            return true;
+        }
+        return nack(st, to);
+    };
 
     switch (m.type) {
       case MType::ReqS: {
@@ -604,7 +677,7 @@ ProtocolModel::applyAtHome(State t, unsigned src, const MMsg &m,
           case DState::BusyR:
           case DState::BusyE:
           case DState::BusyUpd:
-            if (nack(t, r))
+            if (nackOrPark(t, r, /*is_write=*/false))
                 out.push_back(std::move(t));
             break;
           case DState::Dele: {
@@ -642,7 +715,7 @@ ProtocolModel::applyAtHome(State t, unsigned src, const MMsg &m,
                 break;
               }
               case DState::BusyUpd:
-                if (nack(t, r))
+                if (nackOrPark(t, r, /*is_write=*/true))
                     out.push_back(std::move(t));
                 break;
               default:
@@ -732,7 +805,7 @@ ProtocolModel::applyAtHome(State t, unsigned src, const MMsg &m,
           case DState::BusyR:
           case DState::BusyE:
           case DState::BusyUpd:
-            if (nack(t, r))
+            if (nackOrPark(t, r, /*is_write=*/true))
                 out.push_back(std::move(t));
             break;
           case DState::Dele: {
@@ -887,21 +960,29 @@ ProtocolModel::applyAtNode(State t, unsigned dst,
         if (!t.prodValid || t.prodNode != n)
             throw McError("request at node without producer entry");
         const unsigned r = m.requester;
-        if (r != n && t.mshr[n]) {
+        // Busy-producer arbitration mirrors the home's: one remote
+        // request parks in the producer's slot, a second NACKs.
+        auto prodNackOrPark = [&](State &st) {
+            if (_cfg.homeQueue && st.prodParkedType == 0) {
+                st.prodParkedType = m.type == MType::ReqS ? 1 : 2;
+                st.prodParkedReq = static_cast<std::uint8_t>(r);
+                st.prodParkedSeq = m.seq;
+                return true;
+            }
             MMsg nk;
             nk.type = MType::Nack;
             nk.seq = m.seq;
-            if (send(t, n, r, nk))
+            return send(st, n, r, nk);
+        };
+        if (r != n && t.mshr[n]) {
+            if (prodNackOrPark(t))
                 out.push_back(std::move(t));
             break;
         }
         if (m.type == MType::ReqS) {
             if (t.prodIsExcl) {
                 if (_cfg.updates && t.intervPending) {
-                    MMsg nk;
-                    nk.type = MType::Nack;
-                    nk.seq = m.seq;
-                    if (send(t, n, r, nk))
+                    if (prodNackOrPark(t))
                         out.push_back(std::move(t));
                     break;
                 }
@@ -1329,6 +1410,13 @@ ProtocolModel::describe(const State &s) const
     os << "  prod: valid=" << int(s.prodValid) << " node="
        << int(s.prodNode) << " excl=" << int(s.prodIsExcl)
        << " sharers=" << int(s.prodSharers) << "\n";
+    if (_cfg.homeQueue) {
+        os << "  parked: home=" << int(s.parkedType) << "/req"
+           << int(s.parkedReq) << "/seq" << int(s.parkedSeq)
+           << " prod=" << int(s.prodParkedType) << "/req"
+           << int(s.prodParkedReq) << "/seq" << int(s.prodParkedSeq)
+           << "\n";
+    }
     os << "  racMask=" << int(s.racMask) << " racV=[";
     for (unsigned n = 0; n < _cfg.nodes; ++n)
         os << int(s.racV[n]) << (n + 1 < _cfg.nodes ? "," : "");
@@ -1382,6 +1470,17 @@ ProtocolModel::blockedSummary(const State &s) const
     }
     if (!any)
         os << " none";
+    if (s.parkedType) {
+        os << "; parked@home: "
+           << (s.parkedType == 1 ? "read" : "write") << " req"
+           << int(s.parkedReq) << " seq" << int(s.parkedSeq);
+    }
+    if (s.prodParkedType) {
+        os << "; parked@prod: "
+           << (s.prodParkedType == 1 ? "read" : "write") << " req"
+           << int(s.prodParkedReq) << " seq"
+           << int(s.prodParkedSeq);
+    }
     os << "; budgets: writesLeft=" << int(s.writesLeft)
        << " readsLeft=[";
     for (unsigned n = 0; n < _cfg.nodes; ++n)

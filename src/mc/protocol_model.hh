@@ -105,6 +105,13 @@ struct ModelConfig
      *  fairness-constrained SCC analysis must flag. Never set by any
      *  registered policy's check set. */
     bool defectStallUpdateWB = false;
+    /** Parked-request arbitration (ProtocolConfig::Arbitration queue /
+     *  aged-priority): busy home and producer controllers absorb one
+     *  request into a parked slot instead of NACKing, and drain it as
+     *  a spontaneous transition once the episode closes (a depth-1
+     *  abstraction of the bounded per-line queue; a second concurrent
+     *  request falls back to NACK exactly like queue overflow). */
+    bool homeQueue = false;
 };
 
 /**
@@ -170,6 +177,15 @@ class ProtocolModel
         std::uint8_t prodSharers = 0;
         std::uint8_t prodV = 0;
         std::uint8_t intervPending = 0;
+
+        // Parked-request slots (homeQueue only): 0 none, 1 ReqS,
+        // 2 ReqX, for the home directory and the producer table.
+        std::uint8_t parkedType = 0;
+        std::uint8_t parkedReq = 0xf;
+        std::uint8_t parkedSeq = 0;
+        std::uint8_t prodParkedType = 0;
+        std::uint8_t prodParkedReq = 0xf;
+        std::uint8_t prodParkedSeq = 0;
 
         // Consumer RAC copies (bitmask) + their versions.
         std::uint8_t racMask = 0;

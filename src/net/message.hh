@@ -116,6 +116,15 @@ struct Message
      */
     std::uint64_t txnId = 0;
 
+    /**
+     * Retry attempt count, stamped on requests from the requester's
+     * MSHR on every (re)send: 0 on the first issue, incremented per
+     * NACK retry. The aged-priority arbiter (src/protocol/arbiter.hh)
+     * uses it to service the longest-suffering requester first when a
+     * parked-request queue overflows back into NACK mode.
+     */
+    std::uint32_t retries = 0;
+
     /** Wire size in bytes: 32 B header; +128 B if data-carrying. */
     std::uint32_t sizeBytes() const;
 

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Per-line parked-request arbiter for the home-side engines
+ * (DESIGN.md "Arbitration & fairness").
+ *
+ * Under the default nack-retry arbitration the home resolves
+ * contention by NACKing requests that hit a busy line; fairness then
+ * rests entirely on randomized backoff, which bounds nothing — a
+ * requester can lose every race indefinitely. The LineArbiter gives
+ * DirController and ProducerController an alternative: park up to
+ * `arbQueueDepth` requests per line and drain them one at a time when
+ * the blocking episode completes. The queue is bounded, and overflow
+ * falls back to a plain NACK, so the engines never exert backpressure
+ * on the network — the lossless FIFO channel contract is untouched.
+ *
+ * Two drain disciplines (ProtocolConfig::arbitration):
+ *  - Queue: strict FIFO by arrival (park order).
+ *  - AgedPriority: highest Message::retries first — the carried retry
+ *    count is the requester's age, so when the queue has been
+ *    overflowing back into NACK mode the longest-suffering requester
+ *    wins the next free slot; ties break by arrival order.
+ *
+ * Selection is a linear scan over a <= arbQueueDepth vector, which
+ * beats a heap at these depths and keeps the drain order trivially
+ * deterministic.
+ */
+
+#ifndef PCSIM_PROTOCOL_ARBITER_HH
+#define PCSIM_PROTOCOL_ARBITER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/net/message.hh"
+#include "src/protocol/config.hh"
+#include "src/protocol/node_stats.hh"
+#include "src/sim/types.hh"
+
+namespace pcsim
+{
+
+/** Bounded per-line request queues for one home-side engine. */
+class LineArbiter
+{
+  public:
+    explicit LineArbiter(const ProtocolConfig &cfg) : _cfg(cfg) {}
+
+    /** A non-default arbitration mode is selected. Every hook in the
+     *  controllers checks this first, so nack-retry runs take exactly
+     *  the pre-arbiter code path. */
+    bool enabled() const { return _cfg.arbitrationActive(); }
+
+    /** True when an arriving request for @p line must park (or NACK
+     *  on overflow) rather than be handled: either requests are
+     *  already waiting — overtaking them would break the queue
+     *  discipline — or a drain for this line is in flight. */
+    bool
+    shouldPark(Addr line) const
+    {
+        return drainPending(line) || !empty(line);
+    }
+
+    /** Park @p msg; returns false when the line's queue is at
+     *  arbQueueDepth (caller falls back to NACK). Records the queue
+     *  depth high-water mark in @p stats. */
+    bool
+    park(const Message &msg, Tick now, NodeStats &stats)
+    {
+        auto &q = _parked[msg.addr];
+        if (q.size() >= _cfg.arbQueueDepth)
+            return false;
+        q.push_back(ParkedReq{msg, now, _seq++});
+        if (q.size() > stats.queueDepthPeak)
+            stats.queueDepthPeak = q.size();
+        return true;
+    }
+
+    bool empty(Addr line) const { return _parked.find(line) == _parked.end(); }
+
+    /** Oldest parked request's type for @p line without removing it;
+     *  empty(line) must be false. */
+    const Message &
+    peek(Addr line) const
+    {
+        const auto &q = _parked.at(line);
+        return q[selectIndex(q)].msg;
+    }
+
+    /** Remove and return the next request for @p line per the drain
+     *  discipline; empty(line) must be false. Records the request's
+     *  total park time in @p stats (maxLineWaitTicks). */
+    Message
+    pop(Addr line, Tick now, NodeStats &stats)
+    {
+        auto it = _parked.find(line);
+        auto &q = it->second;
+        const std::size_t i = selectIndex(q);
+        ParkedReq p = q[i];
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+        if (q.empty())
+            _parked.erase(it);
+        const Tick waited = now - p.enq;
+        if (waited > stats.maxLineWaitTicks)
+            stats.maxLineWaitTicks = waited;
+        return p.msg;
+    }
+
+    /** Remove every parked request for @p line, invoking
+     *  @p fn(const Message &) on each in drain order. Used by
+     *  undelegation: the producer bounces its parked queue back to
+     *  the real home with NackNotHome. */
+    template <typename Fn>
+    void
+    flush(Addr line, Fn &&fn)
+    {
+        auto it = _parked.find(line);
+        if (it == _parked.end())
+            return;
+        std::vector<ParkedReq> q = std::move(it->second);
+        _parked.erase(it);
+        while (!q.empty()) {
+            const std::size_t i = selectIndex(q);
+            fn(q[i].msg);
+            q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+    }
+
+    /** @name Drain-in-flight latch.
+     *
+     * A drain is scheduled hubLatency ticks out (the popped request
+     * re-enters the engine like a fresh arrival); between schedule
+     * and fire the line must keep parking new arrivals and must not
+     * double-drain.
+     */
+    /// @{
+    bool
+    drainPending(Addr line) const
+    {
+        return _drainPending.count(line) != 0;
+    }
+    void markDrainPending(Addr line) { _drainPending.insert(line); }
+    void clearDrainPending(Addr line) { _drainPending.erase(line); }
+    /// @}
+
+  private:
+    struct ParkedReq
+    {
+        Message msg;
+        Tick enq;          ///< tick the request parked
+        std::uint64_t seq; ///< arrival order (FIFO key / tiebreak)
+    };
+
+    /** Index of the next request to drain from @p q. */
+    std::size_t
+    selectIndex(const std::vector<ParkedReq> &q) const
+    {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < q.size(); ++i) {
+            const ParkedReq &a = q[i];
+            const ParkedReq &b = q[best];
+            if (_cfg.arbitration == Arbitration::AgedPriority) {
+                if (a.msg.retries > b.msg.retries ||
+                    (a.msg.retries == b.msg.retries && a.seq < b.seq))
+                    best = i;
+            } else if (a.seq < b.seq) {
+                best = i;
+            }
+        }
+        return best;
+    }
+
+    const ProtocolConfig &_cfg;
+    std::unordered_map<Addr, std::vector<ParkedReq>> _parked;
+    std::unordered_set<Addr> _drainPending;
+    std::uint64_t _seq = 0;
+};
+
+} // namespace pcsim
+
+#endif // PCSIM_PROTOCOL_ARBITER_HH

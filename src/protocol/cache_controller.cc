@@ -151,6 +151,7 @@ CacheController::missPath(bool is_write, Addr addr, Addr line,
                   _hub.id(), (unsigned long long)line, _cfg.maxRetries);
         ++st.retries;
         ++st.mshrConflictRetries;
+        st.noteRetryAttempt(conflict_retries);
         std::size_t exp = 0;
         const Tick backoff =
             retryBackoff(_cfg, conflict_retries, _rng, &exp);
@@ -234,6 +235,9 @@ CacheController::sendRequest(Mshr &m)
     msg.dst = target;
     msg.requester = _hub.id();
     msg.txnId = m.txnId;
+    // Carried age: the aged-priority arbiter services the
+    // longest-suffering requester first (src/protocol/arbiter.hh).
+    msg.retries = static_cast<std::uint32_t>(m.retries);
     _hub.send(msg);
 }
 
@@ -246,8 +250,7 @@ CacheController::retry(Addr line)
     ++m->retries;
     NodeStats &st = _hub.stats();
     ++st.retries;
-    if (m->retries > st.maxRetriesPerLine)
-        st.maxRetriesPerLine = m->retries;
+    st.noteRetryAttempt(m->retries - 1);
     if (m->retries > _cfg.maxRetries)
         panic("node %u: transaction for 0x%llx exceeded %u retries "
               "(livelock?)",
@@ -431,6 +434,14 @@ CacheController::complete(Mshr &m)
         _hub.checker().loadPerformed(_hub.id(), line, m.version);
     }
 
+    // Fairness telemetry: time from first issue to fill. Pure
+    // accounting (no control flow or RNG draws), so default-mode
+    // results stay byte-identical.
+    const Tick waited = _hub.curTick() - m.issued;
+    st.missLatencyHist.sample(latencyBucketOf(waited));
+    if (waited > st.maxLineWaitTicks)
+        st.maxLineWaitTicks = waited;
+
     // Miss classification (Figure 7 metrics).
     if (m.usedNetwork) {
         ++st.remoteMisses;
@@ -456,6 +467,11 @@ CacheController::complete(Mshr &m)
     if (was_write && _cfg.delegationEnabled() &&
         _hub.prodCtrl().isDelegated(line)) {
         _hub.prodCtrl().onLocalWriteComplete(line);
+    } else if (_cfg.delegationEnabled() && _cfg.arbitrationActive() &&
+               _hub.prodCtrl().isDelegated(line)) {
+        // A read completion freed the MSHR that was blocking parked
+        // remote requests at our producer engine.
+        _hub.prodCtrl().maybeDrain(line);
     }
 
     if (done) {

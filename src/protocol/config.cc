@@ -53,6 +53,35 @@ protocolKindFromName(const std::string &name, ProtocolKind &out)
     return false;
 }
 
+const char *
+arbitrationName(Arbitration a)
+{
+    switch (a) {
+      case Arbitration::NackRetry:
+        return "nack-retry";
+      case Arbitration::Queue:
+        return "queue";
+      case Arbitration::AgedPriority:
+        return "aged-priority";
+      default:
+        return "?";
+    }
+}
+
+bool
+arbitrationFromName(const std::string &name, Arbitration &out)
+{
+    for (unsigned a = 0;
+         a < static_cast<unsigned>(Arbitration::NumArbitrations); ++a) {
+        const auto arb = static_cast<Arbitration>(a);
+        if (name == arbitrationName(arb)) {
+            out = arb;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::string
 ProtocolConfig::validateError() const
 {
@@ -95,6 +124,23 @@ ProtocolConfig::validateError() const
                       "into a livelock (see config.hh); set "
                       "retryJitter > 0",
                       numNodes);
+    if (retryBase > (maxTick >> retryExpCap))
+        return format("retryBase %llu << retryExpCap %llu overflows "
+                      "the Tick range",
+                      retryBase, retryExpCap);
+    if (retryJitter == maxTick)
+        return "retryJitter + 1 overflows (the jitter draw is uniform "
+               "in [0, retryJitter]; use a smaller bound)";
+    if (arbitration >= Arbitration::NumArbitrations)
+        return format("unknown Arbitration %llu (valid modes are "
+                      "0..%llu; see arbitrationName)",
+                      static_cast<unsigned long long>(arbitration),
+                      static_cast<unsigned long long>(
+                          Arbitration::NumArbitrations) -
+                          1);
+    if (arbitrationActive() && arbQueueDepth == 0)
+        return "arbQueueDepth must be at least 1 when a parked-request "
+               "arbitration mode is selected";
 
     if (l1.sizeBytes == 0 || l1.ways == 0 ||
         l1.sizeBytes < l1.ways * l1.lineBytes)

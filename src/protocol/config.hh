@@ -52,6 +52,35 @@ const char *protocolKindName(ProtocolKind k);
  *  returns false for unknown names. */
 bool protocolKindFromName(const std::string &name, ProtocolKind &out);
 
+/**
+ * How the home-side engines arbitrate requests that arrive while a
+ * line is busy (see DESIGN.md "Arbitration & fairness").
+ *
+ * NackRetry is the paper's behaviour: the home NACKs and the
+ * requester retries after randomized backoff — simple, but with no
+ * fairness guarantee under contention. Queue parks busy-line requests
+ * in a bounded per-line FIFO at the home and drains them oldest-first
+ * when the episode completes; a full queue falls back to NACK so the
+ * lossless-channel contract is preserved. AgedPriority is Queue with
+ * the drain order keyed on the request's carried retry count
+ * (Message::retries), so the longest-suffering requester is serviced
+ * first when the queue has been overflowing back into NACK mode.
+ */
+enum class Arbitration : std::uint8_t
+{
+    NackRetry,    ///< NACK + randomized-backoff retry (default)
+    Queue,        ///< bounded per-line FIFO at the home
+    AgedPriority, ///< FIFO drained by retry-count age
+    NumArbitrations
+};
+
+/** Display name of @p a ("nack-retry", "queue", "aged-priority"). */
+const char *arbitrationName(Arbitration a);
+
+/** Parse an arbitration name (the arbitrationName spellings,
+ *  case-sensitive); returns false for unknown names. */
+bool arbitrationFromName(const std::string &name, Arbitration &out);
+
 /** Everything a node and its controllers need to know. */
 struct ProtocolConfig
 {
@@ -111,6 +140,26 @@ struct ProtocolConfig
      *  retries spread out (capped at `retryBase << retryExpCap`). */
     std::uint32_t retryExpCap = 0;
     std::uint32_t maxRetries = 100000; ///< forward-progress guard
+    /// @}
+
+    /**
+     * @name Busy-line arbitration (src/protocol/arbiter.hh).
+     *
+     * Default NackRetry keeps every existing result byte-identical.
+     * Queue / AgedPriority park up to arbQueueDepth requests per busy
+     * line at the home instead of NACKing; overflow falls back to
+     * NACK (AgedPriority then services the highest Message::retries
+     * first on drain).
+     */
+    /// @{
+    Arbitration arbitration = Arbitration::NackRetry;
+    std::uint32_t arbQueueDepth = 32;
+    /** True when a parked-request arbiter is in play (anything other
+     *  than the default NACK-and-retry discipline). */
+    bool arbitrationActive() const
+    {
+        return arbitration != Arbitration::NackRetry;
+    }
     /// @}
 
     /** Deterministic fault injection (off by default; see

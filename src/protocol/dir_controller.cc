@@ -27,7 +27,8 @@ DirController::DirController(Hub &hub, Rng rng)
       _store(_cfg.dirReserveLines, _cfg.sharerGranularityLog2),
       _dirCache(_cfg.dirCache, _store, rng.fork()),
       _dram(_cfg.dram),
-      _rng(rng.fork())
+      _rng(rng.fork()),
+      _arb(_cfg)
 {
 }
 
@@ -81,8 +82,7 @@ DirController::rehandleBackoff(const Message &msg, const char *what)
     NodeStats &st = _hub.stats();
     ++st.retries;
     ++st.dirRehandleRetries;
-    if (attempt + 1ull > st.maxRetriesPerLine)
-        st.maxRetriesPerLine = attempt + 1;
+    st.noteRetryAttempt(attempt);
     if (attempt >= _cfg.maxRetries)
         panic("node %u: %s re-handle for 0x%llx exceeded %u retries "
               "(directory-cache set wedged?)\n%s",
@@ -115,6 +115,53 @@ DirController::sendNack(const Message &msg, Tick ready)
 
 void
 DirController::handleRequest(const Message &msg)
+{
+    if (_arb.enabled()) {
+        if (_arb.shouldPark(msg.addr)) {
+            // Requests are already waiting (or a drain is in flight):
+            // overtaking them would break the queue discipline. Park
+            // behind them; a full queue falls back to NACK so the
+            // engine never backpressures the network.
+            if (!_arb.park(msg, _hub.curTick(), _hub.stats()))
+                sendNack(msg, _hub.curTick() + _cfg.hubLatency);
+            return;
+        }
+        handleRequestCore(msg);
+        maybeDrain(msg.addr);
+        return;
+    }
+    handleRequestCore(msg);
+}
+
+void
+DirController::nackOrQueue(const Message &msg, Tick ready)
+{
+    if (_arb.enabled() && _arb.park(msg, _hub.curTick(), _hub.stats()))
+        return;
+    sendNack(msg, ready);
+}
+
+void
+DirController::maybeDrain(Addr line)
+{
+    if (!_arb.enabled() || _arb.drainPending(line) || _arb.empty(line))
+        return;
+    if (dirEntry(line).busy())
+        return; // the completing event will re-trigger the drain
+    const Message req = _arb.pop(line, _hub.curTick(), _hub.stats());
+    _arb.markDrainPending(line);
+    // Re-enter like a fresh arrival after the hub's processing
+    // latency; on the home's own event queue, so parallel-kernel runs
+    // stay shard-local and byte-identical to sequential.
+    _hub.eventQueue().scheduleIn(_cfg.hubLatency, [this, req]() {
+        _arb.clearDrainPending(req.addr);
+        handleRequestCore(req);
+        maybeDrain(req.addr);
+    });
+}
+
+void
+DirController::handleRequestCore(const Message &msg)
 {
     DIR_CONFORMANCE_SCOPE(msg, verify::eventOf(msg.type));
 
@@ -150,6 +197,7 @@ DirController::handleUpdateWB(const Message &msg)
               _hub.id(), msg.toString().c_str());
     }
     _hub.policy().handleUpdateWB(*this, msg, *e, ready);
+    maybeDrain(msg.addr);
 }
 
 void
@@ -282,6 +330,7 @@ DirController::handleWriteback(const Message &msg)
     }
 
     _hub.sendAt(ready, ack);
+    maybeDrain(msg.addr);
 }
 
 void
@@ -305,6 +354,7 @@ DirController::handleSharedWriteback(const Message &msg)
     d.owner = invalidNode;
     d.pendingReq = invalidNode;
     d.pendingOwner = invalidNode;
+    maybeDrain(msg.addr);
 }
 
 void
@@ -326,6 +376,7 @@ DirController::handleTransferAck(const Message &msg)
     // Memory stays stale: the data moved owner-to-owner.
     d.pendingReq = invalidNode;
     d.pendingOwner = invalidNode;
+    maybeDrain(msg.addr);
 }
 
 void
@@ -366,6 +417,7 @@ DirController::handleIntervNack(const Message &msg)
         d.pendingReq = invalidNode;
         d.pendingOwner = invalidNode;
         _hub.sendAt(ready, resp);
+        maybeDrain(msg.addr);
         return;
     }
 
@@ -388,6 +440,7 @@ DirController::handleIntervNack(const Message &msg)
     d.pendingOwner = invalidNode;
 
     _hub.sendAt(ready, nack);
+    maybeDrain(msg.addr);
 }
 
 void
@@ -439,6 +492,7 @@ DirController::handleUndele(const Message &msg)
             handleRequest(req);
         });
     }
+    maybeDrain(msg.addr);
 }
 
 } // namespace pcsim

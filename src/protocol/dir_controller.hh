@@ -27,6 +27,7 @@
 #include "src/mem/directory.hh"
 #include "src/mem/dram.hh"
 #include "src/net/message.hh"
+#include "src/protocol/arbiter.hh"
 #include "src/protocol/config.hh"
 #include "src/sim/random.hh"
 #include "src/sim/types.hh"
@@ -42,9 +43,10 @@ class DirController
   public:
     DirController(Hub &hub, Rng rng);
 
-    /** ReqShared / ReqExcl / ReqUpgrade for a line homed here:
-     *  common bookkeeping, then dispatch into the coherence policy's
-     *  handleRead / handleWrite (src/protocol/policy.hh). */
+    /** ReqShared / ReqExcl / ReqUpgrade for a line homed here. Under
+     *  a parked-request arbitration mode the arrival may be parked
+     *  (or NACKed on queue overflow) instead of handled; otherwise it
+     *  goes straight into handleRequestCore. */
     void handleRequest(const Message &msg);
     void handleWriteback(const Message &msg);
     void handleSharedWriteback(const Message &msg);
@@ -78,11 +80,26 @@ class DirController
                            Tick ready);
 
     void sendNack(const Message &msg, Tick ready);
+    /** Busy-line resolution: park @p msg in the per-line arbiter
+     *  queue when a non-default arbitration mode is active (and the
+     *  queue has room), else NACK at @p ready. */
+    void nackOrQueue(const Message &msg, Tick ready);
     /** Charge a DRAM data access and combine with @p ready. */
     Tick withMemData(Tick ready);
     /// @}
 
+    /** Episode-completion hook: if @p line has parked requests and is
+     *  no longer busy, schedule the next one to re-enter the engine
+     *  hubLatency ticks out. No-op under nack-retry arbitration. */
+    void maybeDrain(Addr line);
+
   private:
+    /** The pre-arbitration handleRequest body: common bookkeeping,
+     *  then dispatch into the coherence policy's handleRead /
+     *  handleWrite (src/protocol/policy.hh). Drained parked requests
+     *  re-enter here. */
+    void handleRequestCore(const Message &msg);
+
     /** Directory-cache access charging DRAM latency on miss.
      *  @param[out] ready earliest tick a reply may leave. */
     DirCacheEntry *access(Addr line, Tick &ready);
@@ -111,6 +128,7 @@ class DirController
     DirectoryCache _dirCache;
     DramModel _dram;
     Rng _rng;
+    LineArbiter _arb;
 
     /** Outstanding re-handle attempts per line (normally empty). */
     std::unordered_map<Addr, std::uint32_t> _rehandleRetries;

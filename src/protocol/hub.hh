@@ -18,6 +18,8 @@
 #ifndef PCSIM_PROTOCOL_HUB_HH
 #define PCSIM_PROTOCOL_HUB_HH
 
+#include <algorithm>
+#include <array>
 #include <memory>
 
 #include "src/core/delegate_cache.hh"
@@ -43,6 +45,48 @@ class TransitionObserver;
 } // namespace verify
 
 class CoherencePolicy;
+
+/**
+ * Sliding-window NACK-rate tracker. The naive boxcar counter (reset
+ * whenever `tick / window` changes) undercounts a storm that straddles
+ * an aligned window boundary by up to 2x: the two halves land in
+ * different boxcars. Instead keep a ring of `numBuckets` sub-window
+ * buckets; `note()` expires every bucket older than `window` ticks and
+ * returns the count over the trailing window, so a burst is measured
+ * at full strength regardless of its alignment.
+ */
+class NackStormWindow
+{
+  public:
+    static constexpr Tick window = 8192;
+    static constexpr Tick numBuckets = 8; ///< sub-bucket width 1024
+
+    /** Record one NACK at @p now; returns the trailing-window count.
+     *  @p now must be monotone non-decreasing across calls. */
+    std::uint64_t
+    note(Tick now)
+    {
+        const Tick bucket = now / (window / numBuckets);
+        if (bucket != _curBucket) {
+            const Tick advance =
+                std::min<Tick>(bucket - _curBucket, numBuckets);
+            for (Tick i = 1; i <= advance; ++i) {
+                auto &slot = _ring[(_curBucket + i) % numBuckets];
+                _count -= slot;
+                slot = 0;
+            }
+            _curBucket = bucket;
+        }
+        ++_ring[bucket % numBuckets];
+        ++_count;
+        return _count;
+    }
+
+  private:
+    std::array<std::uint64_t, numBuckets> _ring{};
+    std::uint64_t _count = 0;
+    Tick _curBucket = 0;
+};
 
 /** One node's hub. */
 class Hub : public SimObject,
@@ -119,20 +163,16 @@ class Hub : public SimObject,
 
     /** NACK-storm telemetry: every NACK sent by this node's home-side
      *  engines funnels through here so NodeStats::nackStormPeak tracks
-     *  the worst burst within any fixed window. */
-    static constexpr Tick nackStormWindow = 8192;
+     *  the worst burst within any sliding nackStormWindow-tick span
+     *  (see NackStormWindow below). */
+    static constexpr Tick nackStormWindow = NackStormWindow::window;
     void
     noteNackSent()
     {
         ++_stats.nacksSent;
-        const Tick window = curTick() / nackStormWindow;
-        if (window != _nackWindow) {
-            _nackWindow = window;
-            _nackWindowCount = 0;
-        }
-        ++_nackWindowCount;
-        if (_nackWindowCount > _stats.nackStormPeak)
-            _stats.nackStormPeak = _nackWindowCount;
+        const std::uint64_t cur = _nackStorm.note(curTick());
+        if (cur > _stats.nackStormPeak)
+            _stats.nackStormPeak = cur;
     }
 
     /** Message history for @p line, or "" when tracing is off. Used by
@@ -180,8 +220,7 @@ class Hub : public SimObject,
     verify::TransitionObserver *_observer = nullptr;
     verify::MessageTrace *_trace = nullptr;
 
-    Tick _nackWindow = maxTick;
-    std::uint64_t _nackWindowCount = 0;
+    NackStormWindow _nackStorm;
 
     Histogram *_consumerHist = nullptr;
     Addr _histExcludeBase = 0;

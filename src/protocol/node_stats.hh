@@ -7,12 +7,69 @@
 #define PCSIM_PROTOCOL_NODE_STATS_HH
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 
 #include "src/sim/stats.hh"
 
 namespace pcsim
 {
+
+/** @name Miss-latency histogram encoding.
+ *
+ * HDR-style log-linear buckets: four linear sub-buckets per power of
+ * two, so every bucket's floor is within 25% of any value it holds —
+ * percentile readouts stay accurate across the full tick range
+ * without per-sample storage. Bucket 0..3 hold the exact values 0..3;
+ * bucket 4*(o-1)+s (o >= 2) holds [2^o + s*2^(o-2), 2^o + (s+1)*2^(o-2)).
+ */
+/// @{
+/** Bucket index for latency value @p v. */
+inline std::size_t
+latencyBucketOf(std::uint64_t v)
+{
+    if (v < 4)
+        return static_cast<std::size_t>(v);
+    const unsigned o = std::bit_width(v) - 1; // floor(log2 v), >= 2
+    const std::uint64_t s = (v - (std::uint64_t(1) << o)) >> (o - 2);
+    return 4u * (o - 1u) + static_cast<std::size_t>(s);
+}
+
+/** Smallest latency value that lands in bucket @p b (the readout
+ *  value percentiles report). */
+inline std::uint64_t
+latencyBucketFloor(std::size_t b)
+{
+    if (b < 4)
+        return b;
+    const unsigned o = static_cast<unsigned>(b / 4 + 1);
+    const std::uint64_t s = b % 4;
+    return (std::uint64_t(1) << o) + (s << (o - 2));
+}
+
+/** The @p p percentile (0 < p <= 1) of a latencyBucketOf-encoded
+ *  histogram, reported as the containing bucket's floor; 0 when the
+ *  histogram is empty. */
+inline std::uint64_t
+latencyPercentile(const Histogram &h, double p)
+{
+    const std::uint64_t total = h.total();
+    if (total == 0)
+        return 0;
+    std::uint64_t rank = static_cast<std::uint64_t>(p * double(total));
+    if (rank < 1)
+        rank = 1;
+    if (rank > total)
+        rank = total;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.numBuckets(); ++i) {
+        cum += h.bucket(i);
+        if (cum >= rank)
+            return latencyBucketFloor(i);
+    }
+    return latencyBucketFloor(h.numBuckets() - 1);
+}
+/// @}
 
 /** Counters one node accumulates during a run. */
 struct NodeStats
@@ -60,6 +117,40 @@ struct NodeStats
     /** Capped backoff exponent per retry (bucket k = attempts that
      *  waited retryBase << k, see src/protocol/backoff.hh). */
     Histogram backoffHist{16};
+
+    /** Record one observation of a line's 0-based retry-attempt index
+     *  for `maxRetriesPerLine`. Every site that touches the counter
+     *  funnels through here so the semantics cannot drift: attempt 0
+     *  is the first retry, so a line NACKed once and then satisfied
+     *  reports max 0. */
+    void
+    noteRetryAttempt(std::uint64_t attempt)
+    {
+        maxRetriesPerLine = std::max(maxRetriesPerLine, attempt);
+    }
+    /// @}
+
+    /** @name Fairness telemetry (src/protocol/arbiter.hh).
+     *
+     * Like the retry-storm block, deliberately NOT in the serialized
+     * per-node schema (PCSIM_NODE_STATS_FIELDS): these aggregate into
+     * an optional "fairness" block in the results JSON only when
+     * faults or a non-default arbitration mode are active, keeping
+     * default-mode goldens byte-identical. The histogram itself is
+     * sampled unconditionally — pure accounting, no control-flow or
+     * RNG impact.
+     */
+    /// @{
+    /** Miss-completion latency (issue -> fill), latencyBucketOf
+     *  encoding. Merged bucket-wise; p50/p95/p99 are derived per node
+     *  and reported as the worst node's value. */
+    Histogram missLatencyHist{256};
+    /** Longest any single request waited for one line, from first
+     *  issue (or arbiter park) to service (merged by max). */
+    std::uint64_t maxLineWaitTicks = 0;
+    /** Deepest any per-line parked-request queue grew (merged by
+     *  max; 0 under nack-retry arbitration). */
+    std::uint64_t queueDepthPeak = 0;
     /// @}
 
     // Home-side activity.
@@ -141,6 +232,9 @@ struct NodeStats
         maxRetriesPerLine = std::max(maxRetriesPerLine, o.maxRetriesPerLine);
         nackStormPeak = std::max(nackStormPeak, o.nackStormPeak);
         backoffHist.merge(o.backoffHist);
+        missLatencyHist.merge(o.missLatencyHist);
+        maxLineWaitTicks = std::max(maxLineWaitTicks, o.maxLineWaitTicks);
+        queueDepthPeak = std::max(queueDepthPeak, o.queueDepthPeak);
         homeRequests += o.homeRequests;
         nacksSent += o.nacksSent;
         interventionsSent += o.interventionsSent;

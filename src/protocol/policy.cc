@@ -103,7 +103,7 @@ class MesiDelePolicy : public CoherencePolicy
 
           case DirState::BusyRead:
           case DirState::BusyExcl:
-            dir.sendNack(msg, ready);
+            dir.nackOrQueue(msg, ready);
             break;
 
           case DirState::Dele:
@@ -236,7 +236,7 @@ class MesiDelePolicy : public CoherencePolicy
 
           case DirState::BusyRead:
           case DirState::BusyExcl:
-            dir.sendNack(msg, ready);
+            dir.nackOrQueue(msg, ready);
             break;
 
           case DirState::Dele:
@@ -307,9 +307,10 @@ class WriteUpdatePolicy : public CoherencePolicy
           }
 
           case DirState::BusyUpd:
-            // A write episode is open; the requester retries once the
-            // UpdateWB lands and will read the fresh epoch.
-            dir.sendNack(msg, ready);
+            // A write episode is open; the requester retries (or
+            // parks) until the UpdateWB lands and reads the fresh
+            // epoch.
+            dir.nackOrQueue(msg, ready);
             break;
 
           default:
@@ -349,7 +350,7 @@ class WriteUpdatePolicy : public CoherencePolicy
           }
 
           case DirState::BusyUpd:
-            dir.sendNack(msg, ready);
+            dir.nackOrQueue(msg, ready);
             break;
 
           default:

@@ -28,7 +28,7 @@ producerStateGetter(Hub &hub, Addr line)
 } // namespace
 
 ProducerController::ProducerController(Hub &hub)
-    : _hub(hub), _cfg(hub.cfg())
+    : _hub(hub), _cfg(hub.cfg()), _arb(_cfg)
 {
 }
 
@@ -154,6 +154,75 @@ ProducerController::handleDelegate(const Message &msg)
 void
 ProducerController::handleRequest(const Message &msg)
 {
+    // Only remote arrivals park: the producer's own requests on its
+    // delegated lines are the write episodes the queue waits on.
+    if (_arb.enabled() && msg.requester != _hub.id()) {
+        if (_arb.shouldPark(msg.addr)) {
+            if (!_arb.park(msg, _hub.curTick(), _hub.stats())) {
+                // Queue full: lossless fallback to NACK.
+                _hub.noteNackSent();
+                Message nack;
+                nack.type = MsgType::Nack;
+                nack.addr = msg.addr;
+                nack.dst = msg.requester;
+                nack.txnId = msg.txnId;
+                _hub.send(nack);
+            }
+            return;
+        }
+        handleRequestCore(msg);
+        maybeDrain(msg.addr);
+        return;
+    }
+    handleRequestCore(msg);
+}
+
+void
+ProducerController::maybeDrain(Addr line)
+{
+    if (!_arb.enabled() || _arb.drainPending(line) || _arb.empty(line))
+        return;
+    DelegateCache *dc = _hub.delegateCache();
+    ProducerEntry *e = dc ? dc->producerFind(line) : nullptr;
+    if (!e)
+        return; // undelegated; undelegate() flushed the queue
+    if (_hub.cacheCtrl().hasMshr(line))
+        return; // local transaction in flight; completion re-triggers
+    const Message &next = _arb.peek(line);
+    if (next.type == MsgType::ReqShared &&
+        e->dir.state == DirState::Excl && _cfg.updatesEnabled() &&
+        e->intervPending) {
+        // The speculative push is imminent and will carry the data;
+        // completeEpoch re-triggers the drain.
+        return;
+    }
+    const Message req = _arb.pop(line, _hub.curTick(), _hub.stats());
+    _arb.markDrainPending(line);
+    _hub.eventQueue().scheduleIn(_cfg.hubLatency, [this, req]() {
+        _arb.clearDrainPending(req.addr);
+        if (isDelegated(req.addr)) {
+            handleRequestCore(req);
+            maybeDrain(req.addr);
+            return;
+        }
+        // Undelegated while the drain was in flight: route the
+        // request like any arrival for a line we no longer manage.
+        if (_hub.homeOf(req.addr) == _hub.id()) {
+            _hub.dirCtrl().handleRequest(req);
+            return;
+        }
+        Message nack;
+        nack.type = MsgType::NackNotHome;
+        nack.addr = req.addr;
+        nack.dst = req.requester;
+        nack.txnId = req.txnId;
+        _hub.send(nack);
+    });
+}
+
+void
+ProducerController::handleRequestCore(const Message &msg)
+{
     const Addr line = msg.addr;
 
     verify::ConformanceScope scope(
@@ -170,7 +239,10 @@ ProducerController::handleRequest(const Message &msg)
 
     if (!local && _hub.cacheCtrl().hasMshr(line)) {
         // Our own transaction on this line is mid-flight; anything
-        // remote must wait (NACK + retry) until it settles.
+        // remote must wait (park, or NACK + retry) until it settles.
+        if (_arb.enabled() &&
+            _arb.park(msg, _hub.curTick(), _hub.stats()))
+            return;
         _hub.noteNackSent();
         Message nack;
         nack.type = MsgType::Nack;
@@ -282,6 +354,9 @@ ProducerController::serveRemoteRead(const Message &msg, ProducerEntry &e)
             // that still finds the epoch open (long delay intervals)
             // falls through to an on-demand downgrade instead of
             // stalling for the whole interval.
+            if (_arb.enabled() &&
+                _arb.park(msg, _hub.curTick(), _hub.stats()))
+                return;
             ++e.pendingNacks;
             _hub.noteNackSent();
             Message nack;
@@ -324,19 +399,23 @@ ProducerController::onLocalWriteComplete(Addr line)
     ++e->epochs;
     e->pendingNacks = 0;
 
-    if (!_cfg.updatesEnabled() || e->intervPending)
-        return;
-    if (_cfg.interventionDelay == maxTick)
-        return; // "infinite" delay: never intervene (Figure 9)
-
-    e->intervPending = true;
-    const std::uint64_t token = _nextToken++;
-    _timerTokens[line] = token;
-    ++_hub.stats().delayedInterventions;
-    _hub.eventQueue().scheduleIn(_cfg.interventionDelay,
-                                 [this, line, token]() {
-                                     fireDelayedIntervention(line, token);
-                                 });
+    const bool arm = _cfg.updatesEnabled() && !e->intervPending &&
+                     _cfg.interventionDelay != maxTick;
+    // ("infinite" interventionDelay never intervenes; Figure 9.)
+    if (arm) {
+        e->intervPending = true;
+        const std::uint64_t token = _nextToken++;
+        _timerTokens[line] = token;
+        ++_hub.stats().delayedInterventions;
+        _hub.eventQueue().scheduleIn(
+            _cfg.interventionDelay, [this, line, token]() {
+                fireDelayedIntervention(line, token);
+            });
+    }
+    // Drain after (not before) arming, so a parked read defers to the
+    // imminent speculative push instead of forcing an on-demand
+    // downgrade.
+    maybeDrain(line);
 }
 
 void
@@ -385,24 +464,26 @@ ProducerController::completeEpoch(Addr line, ProducerEntry &e,
     e.dir.sharers.add(self);
     e.dir.owner = invalidNode;
 
-    if (!_cfg.updatesEnabled() || _cfg.interventionDelay == maxTick)
-        return; // "infinite" delay (Figure 9): no speculative pushes
-
-    // Push the new data to the predicted consumers (Section 2.4.2:
-    // the nodes that consumed the last version). Skipping only
-    // ourselves, a coarse vector also pushes to our group-mates;
-    // spurious pushes land in their RACs or are dropped.
-    e.dir.sharers.forEachNode(_cfg.numNodes, [&](NodeId n) {
-        if (n == self)
-            return;
-        ++_hub.stats().updatesSent;
-        Message up;
-        up.type = MsgType::Update;
-        up.addr = line;
-        up.dst = n;
-        up.version = version;
-        _hub.sendIn(_cfg.busLatency, up);
-    });
+    if (_cfg.updatesEnabled() && _cfg.interventionDelay != maxTick) {
+        // Push the new data to the predicted consumers (Section
+        // 2.4.2: the nodes that consumed the last version). With an
+        // "infinite" delay (Figure 9) there are no speculative
+        // pushes. Skipping only ourselves, a coarse vector also
+        // pushes to our group-mates; spurious pushes land in their
+        // RACs or are dropped.
+        e.dir.sharers.forEachNode(_cfg.numNodes, [&](NodeId n) {
+            if (n == self)
+                return;
+            ++_hub.stats().updatesSent;
+            Message up;
+            up.type = MsgType::Update;
+            up.addr = line;
+            up.dst = n;
+            up.version = version;
+            _hub.sendIn(_cfg.busLatency, up);
+        });
+    }
+    maybeDrain(line);
 }
 
 void
@@ -486,6 +567,18 @@ ProducerController::undelegate(Addr line, ProducerEntry &e,
     PCSIM_DPRINTF(DebugDelegate, _hub.curTick(),
                   "node %u: undelegate 0x%llx reason=%d", _hub.id(),
                   (unsigned long long)line, static_cast<int>(reason));
+
+    // Bounce any parked requests back toward the real home: we are no
+    // longer the acting home, and the restored directory will service
+    // their retries.
+    _arb.flush(line, [this](const Message &pm) {
+        Message nack;
+        nack.type = MsgType::NackNotHome;
+        nack.addr = pm.addr;
+        nack.dst = pm.requester;
+        nack.txnId = pm.txnId;
+        _hub.send(nack);
+    });
 
     dc->producer().invalidate(line);
     _lastDowngrade.erase(line);

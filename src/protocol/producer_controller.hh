@@ -24,6 +24,7 @@
 
 #include "src/core/delegate_cache.hh"
 #include "src/net/message.hh"
+#include "src/protocol/arbiter.hh"
 #include "src/protocol/config.hh"
 #include "src/sim/types.hh"
 
@@ -54,8 +55,15 @@ class ProducerController
     /** DELEGATE from the home node. */
     void handleDelegate(const Message &msg);
 
-    /** Request (local or remote) for a line in the producer table. */
+    /** Request (local or remote) for a line in the producer table.
+     *  Under a parked-request arbitration mode a remote arrival may
+     *  park (or NACK on queue overflow) instead of being handled. */
     void handleRequest(const Message &msg);
+
+    /** Episode-completion hook: if @p line has parked remote requests
+     *  and can service one now, schedule it to re-enter the engine
+     *  hubLatency ticks out. No-op under nack-retry arbitration. */
+    void maybeDrain(Addr line);
 
     /** The local CPU's write transaction on a delegated line finished
      *  (all acks collected): start the delayed-intervention timer. */
@@ -71,6 +79,9 @@ class ProducerController
     std::size_t numDelegated();
 
   private:
+    /** The pre-arbitration handleRequest body; drained parked
+     *  requests re-enter here. */
+    void handleRequestCore(const Message &msg);
     void serveLocalWrite(const Message &msg, ProducerEntry &e);
     void serveRemoteRead(const Message &msg, ProducerEntry &e);
     void fireDelayedIntervention(Addr line, std::uint64_t token);
@@ -83,6 +94,7 @@ class ProducerController
 
     Hub &_hub;
     const ProtocolConfig &_cfg;
+    LineArbiter _arb;
     /** Timer-validity tokens (re-delegation invalidates old timers). */
     std::unordered_map<Addr, std::uint64_t> _timerTokens;
     std::uint64_t _nextToken = 1;

@@ -34,26 +34,47 @@ faultJobs(const FaultsOptions &opt)
         return {};
     }
 
+    std::vector<Arbitration> arbs;
+    for (const auto &name : opt.arbitrations) {
+        Arbitration a;
+        if (!arbitrationFromName(name, a))
+            return {}; // unknown arbitration mode
+        arbs.push_back(a);
+    }
+    if (arbs.empty())
+        arbs.push_back(Arbitration::NackRetry);
+
     JobSet set;
     for (const auto &scen : scenarios) {
-        for (const auto &named : presets::scaleConfigs(opt.nodes)) {
-            Job j;
-            j.workload = opt.workload;
-            j.cfg = named.cfg;
-            j.cfg.shards = opt.parallelShards;
-            j.cfg.proto.faults = scen.faults;
-            // The whole point: the protocol must stay provably
-            // coherent and in-spec while being perturbed.
-            j.cfg.proto.checkerEnabled = true;
-            j.cfg.proto.conformanceEnabled = true;
-            // Fault-grade backoff: exponential up to retryBase << 6 so
-            // pressure-induced NACK storms spread out.
-            j.cfg.proto.retryExpCap = 6;
-            j.configName = named.name;
-            j.seed = opt.seed;
-            j.scale = opt.scale;
-            j.label = scen.name + "/" + named.name;
-            set.add(std::move(j));
+        for (const Arbitration arb : arbs) {
+            for (const auto &named :
+                 presets::scaleConfigs(opt.nodes)) {
+                Job j;
+                j.workload = opt.workload;
+                j.cfg = named.cfg;
+                j.cfg.shards = opt.parallelShards;
+                j.cfg.proto.faults = scen.faults;
+                // The whole point: the protocol must stay provably
+                // coherent and in-spec while being perturbed.
+                j.cfg.proto.checkerEnabled = true;
+                j.cfg.proto.conformanceEnabled = true;
+                // Fault-grade backoff: exponential up to
+                // retryBase << 6 so pressure-induced NACK storms
+                // spread out.
+                j.cfg.proto.retryExpCap = 6;
+                j.cfg.proto.arbitration = arb;
+                j.configName = named.name;
+                j.seed = opt.seed;
+                j.scale = opt.scale;
+                // Historic labels for the default mode, so
+                // BENCH_faults.json rows keep their identity.
+                j.label = arb == Arbitration::NackRetry
+                              ? scen.name + "/" + named.name
+                              : scen.name + "/" +
+                                    arbitrationName(arb) + "/" +
+                                    named.name;
+                set.add(std::move(j));
+            }
         }
     }
     return set;
@@ -65,24 +86,29 @@ namespace
 void
 printFaultsTable(const std::vector<JobResult> &results)
 {
-    std::printf("%-28s | %12s | %9s | %9s | %8s | %8s | %10s\n",
+    std::printf("%-40s | %12s | %9s | %9s | %8s | %8s | %10s | %8s "
+                "| %8s | %6s\n",
                 "scenario/config", "cycles", "nacks", "retries",
-                "maxRetry", "stormPk", "delayedMsg");
+                "maxRetry", "stormPk", "delayedMsg", "maxWait",
+                "p99", "qPeak");
     for (const auto &r : results) {
         if (!r.ok) {
-            std::printf("%-28s | FAILED: %s\n", r.job.label.c_str(),
+            std::printf("%-40s | FAILED: %s\n", r.job.label.c_str(),
                         r.error.c_str());
             continue;
         }
-        std::printf("%-28s | %12llu | %9llu | %9llu | %8llu | %8llu "
-                    "| %10llu\n",
+        std::printf("%-40s | %12llu | %9llu | %9llu | %8llu | %8llu "
+                    "| %10llu | %8llu | %8llu | %6llu\n",
                     r.job.label.c_str(),
                     (unsigned long long)r.result.cycles,
                     (unsigned long long)r.result.nodes.nacksReceived,
                     (unsigned long long)r.result.nodes.retries,
                     (unsigned long long)r.result.nodes.maxRetriesPerLine,
                     (unsigned long long)r.result.nodes.nackStormPeak,
-                    (unsigned long long)r.result.faultDelayedMessages);
+                    (unsigned long long)r.result.faultDelayedMessages,
+                    (unsigned long long)r.result.nodes.maxLineWaitTicks,
+                    (unsigned long long)r.result.missLatencyP99,
+                    (unsigned long long)r.result.nodes.queueDepthPeak);
     }
 }
 
@@ -94,9 +120,10 @@ runFaultSweep(const FaultsOptions &opt)
     const JobSet set = faultJobs(opt);
     if (set.empty()) {
         std::fprintf(stderr,
-                     "pcsim faults: no jobs (unknown --scenario? "
-                     "known: gray-links, ni-stalls, hotspot, "
-                     "dir-pressure, storm)\n");
+                     "pcsim faults: no jobs (unknown --scenario or "
+                     "--arbitration? scenarios: gray-links, ni-stalls, "
+                     "hotspot, dir-pressure, storm; arbitrations: "
+                     "nack-retry, queue, aged-priority)\n");
         return 1;
     }
 

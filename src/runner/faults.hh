@@ -38,6 +38,12 @@ struct FaultsOptions
     /** Scenario names to run ("" / empty = all of
      *  presets::faultScenarios()). */
     std::vector<std::string> scenarios;
+    /** Arbitration modes to cross with the scenarios (empty =
+     *  {"nack-retry"}, the historic single-mode sweep). The default
+     *  mode keeps its historic labels ("scenario/config"); other modes
+     *  label as "scenario/arbitration/config". `pcsim qos` sets all
+     *  three to produce BENCH_qos.json. */
+    std::vector<std::string> arbitrations;
     std::uint64_t seed = 1;
     /** Worker threads; 0 = all cores. */
     unsigned threads = 0;

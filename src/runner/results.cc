@@ -179,6 +179,28 @@ toJson(const RunResult &r, bool with_timing)
         pol["adaptiveDrops"] = JsonValue(r.nodes.adaptiveDrops);
         v["policy"] = std::move(pol);
     }
+
+    // Fairness telemetry exists only for fault-injected runs or
+    // non-default arbitration modes; every pre-existing golden is
+    // fault-free and nack-retry, so they stay byte-identical.
+    if (r.faultsActive || r.arbitrationActive) {
+        JsonValue fair = JsonValue::object();
+        fair["arbitration"] = JsonValue(r.arbitrationActive);
+        fair["missLatencyP50"] = JsonValue(r.missLatencyP50);
+        fair["missLatencyP95"] = JsonValue(r.missLatencyP95);
+        fair["missLatencyP99"] = JsonValue(r.missLatencyP99);
+        fair["maxLineWaitTicks"] = JsonValue(r.nodes.maxLineWaitTicks);
+        fair["queueDepthPeak"] = JsonValue(r.nodes.queueDepthPeak);
+        JsonValue mh = JsonValue::object();
+        mh["total"] = JsonValue(r.nodes.missLatencyHist.total());
+        JsonValue mb = JsonValue::array();
+        for (std::size_t i = 0;
+             i < r.nodes.missLatencyHist.numBuckets(); ++i)
+            mb.push(JsonValue(r.nodes.missLatencyHist.bucket(i)));
+        mh["buckets"] = std::move(mb);
+        fair["missLatencyHist"] = std::move(mh);
+        v["fairness"] = std::move(fair);
+    }
     return v;
 }
 
@@ -272,6 +294,23 @@ runResultFromJson(const JsonValue &v)
         r.nodes.updateEpisodes = pol->at("updateEpisodes").asUInt();
         r.nodes.updatesApplied = pol->at("updatesApplied").asUInt();
         r.nodes.adaptiveDrops = pol->at("adaptiveDrops").asUInt();
+    }
+
+    // Optional: fault-injected or non-default-arbitration runs only.
+    if (const JsonValue *fair = v.find("fairness")) {
+        r.arbitrationActive = fair->at("arbitration").asBool();
+        r.missLatencyP50 = fair->at("missLatencyP50").asUInt();
+        r.missLatencyP95 = fair->at("missLatencyP95").asUInt();
+        r.missLatencyP99 = fair->at("missLatencyP99").asUInt();
+        r.nodes.maxLineWaitTicks =
+            fair->at("maxLineWaitTicks").asUInt();
+        r.nodes.queueDepthPeak = fair->at("queueDepthPeak").asUInt();
+        const JsonValue &mb = fair->at("missLatencyHist").at("buckets");
+        std::vector<std::uint64_t> mcounts;
+        mcounts.reserve(mb.size());
+        for (std::size_t i = 0; i < mb.size(); ++i)
+            mcounts.push_back(mb.at(i).asUInt());
+        r.nodes.missLatencyHist.assign(std::move(mcounts));
     }
     return r;
 }

@@ -74,9 +74,9 @@ printServeTable(const std::vector<JobResult> &results)
         }
     }
 
-    std::printf("%-28s | %12s | %10s | %9s | %9s | %8s\n",
+    std::printf("%-28s | %12s | %10s | %9s | %9s | %8s | %8s\n",
                 "scenario/nodes/config", "cycles", "messages",
-                "updates", "updUsed", "vs base");
+                "updates", "updUsed", "missP99", "vs base");
     for (const auto &r : results) {
         if (!r.ok) {
             std::printf("%-28s | FAILED: %s\n", r.job.label.c_str(),
@@ -92,12 +92,13 @@ printServeTable(const std::vector<JobResult> &results)
                           double(it->second) /
                               double(r.result.cycles));
         std::printf(
-            "%-28s | %12llu | %10llu | %9llu | %9llu | %8s\n",
+            "%-28s | %12llu | %10llu | %9llu | %9llu | %8llu | %8s\n",
             r.job.label.c_str(),
             (unsigned long long)r.result.cycles,
             (unsigned long long)r.result.netMessages,
             (unsigned long long)r.result.updateMessages,
-            (unsigned long long)r.result.nodes.updatesConsumed, win);
+            (unsigned long long)r.result.nodes.updatesConsumed,
+            (unsigned long long)r.result.missLatencyP99, win);
     }
 }
 

@@ -212,8 +212,19 @@ System::run(Workload &workload, Tick max_ticks)
     r.workload = workload.name();
     const Tick done = last_done.load();
     r.cycles = done > _statsResetTick ? done - _statsResetTick : done;
-    for (auto &hub : _hubs)
-        r.nodes += hub->stats();
+    for (auto &hub : _hubs) {
+        // Worst-node percentiles, taken per node BEFORE the sum
+        // (merging the histograms first would average the unlucky
+        // node away; see RunResult).
+        const NodeStats &ns = hub->stats();
+        r.missLatencyP50 = std::max(
+            r.missLatencyP50, latencyPercentile(ns.missLatencyHist, 0.50));
+        r.missLatencyP95 = std::max(
+            r.missLatencyP95, latencyPercentile(ns.missLatencyHist, 0.95));
+        r.missLatencyP99 = std::max(
+            r.missLatencyP99, latencyPercentile(ns.missLatencyHist, 0.99));
+        r.nodes += ns;
+    }
     r.netMessages = _net.numMessages();
     r.netBytes = _net.numBytes();
     r.nackMessages = _net.numByType(MsgType::Nack) +
@@ -251,6 +262,7 @@ System::run(Workload &workload, Tick max_ticks)
         r.faultExtraTicks = _net.faultExtraTicks();
     }
     r.updateBased = _cfg.proto.updateBased();
+    r.arbitrationActive = _cfg.proto.arbitrationActive();
     return r;
 }
 

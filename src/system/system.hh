@@ -89,6 +89,20 @@ struct RunResult
      *  JSON. */
     bool updateBased = false;
 
+    /** @name Fairness telemetry (src/protocol/arbiter.hh).
+     *  The percentiles are the WORST single node's miss-latency
+     *  percentile (per-node histograms, taken before the sum into
+     *  `nodes`): the fairness question is how badly the unluckiest
+     *  node fares, which a machine-wide histogram would average away.
+     *  `arbitrationActive` (a non-default arbitration mode) gates the
+     *  optional "fairness" JSON block together with `faultsActive`. */
+    /// @{
+    bool arbitrationActive = false;
+    std::uint64_t missLatencyP50 = 0;
+    std::uint64_t missLatencyP95 = 0;
+    std::uint64_t missLatencyP99 = 0;
+    /// @}
+
     std::uint64_t totalMisses() const
     {
         return nodes.localMisses + nodes.remoteMisses;

@@ -291,7 +291,8 @@ modelConfigsFor(McCheckSet set)
     // model is verified in tests); read budget 1 keeps each
     // exploration exhaustive and fast.
     auto make = [](std::string name, bool delegation, bool updates,
-                   bool write_update, bool adaptive) {
+                   bool write_update, bool adaptive,
+                   bool home_queue = false) {
         NamedModelConfig c;
         c.name = std::move(name);
         c.cfg.nodes = 3;
@@ -301,12 +302,20 @@ modelConfigsFor(McCheckSet set)
         c.cfg.updates = updates;
         c.cfg.writeUpdate = write_update;
         c.cfg.adaptive = adaptive;
+        c.cfg.homeQueue = home_queue;
         return c;
     };
 
+    // The "+queue" variants re-verify the protocol with the parked-slot
+    // arbitration abstraction enabled (ProtocolConfig::Arbitration
+    // queue / aged-priority share the same queuing discipline; only the
+    // overflow service order differs, which the depth-1 slot cannot
+    // distinguish).
     switch (set) {
       case McCheckSet::WriteUpdate:
-        return {make("write-update", false, false, true, false)};
+        return {make("write-update", false, false, true, false),
+                make("write-update+queue", false, false, true, false,
+                     true)};
       case McCheckSet::AdaptiveHybrid:
         return {make("write-update", false, false, true, false),
                 make("adaptive-hybrid", false, false, true, true)};
@@ -315,7 +324,10 @@ modelConfigsFor(McCheckSet set)
     }
     return {make("base", false, false, false, false),
             make("delegation", true, false, false, false),
-            make("delegation+updates", true, true, false, false)};
+            make("delegation+updates", true, true, false, false),
+            make("base+queue", false, false, false, false, true),
+            make("delegation+updates+queue", true, true, false, false,
+                 true)};
 }
 
 LivenessReport

@@ -62,7 +62,7 @@ TEST(Lint, ShippedSpecMatchesModel)
                       << " x " << f.event << ": " << f.detail;
     }
     EXPECT_TRUE(r.clean());
-    EXPECT_EQ(r.mcConfigs, 3u);
+    EXPECT_EQ(r.mcConfigs, 5u);
     EXPECT_GT(r.mcStates, 100'000u);
     EXPECT_GT(r.mcObserved, 50u);
 }
